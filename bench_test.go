@@ -1,0 +1,428 @@
+// Benchmarks regenerating the kernels behind every table and figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// called out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Dataset analogs are generated once and shared across benches; sizes
+// are the Scale-1 laptop defaults, so absolute numbers are far below
+// the paper's testbed — the comparisons (who wins, by what factor) are
+// what these benches reproduce. cmd/experiments produces the
+// corresponding full reports.
+package hyperline_test
+
+import (
+	"sync"
+	"testing"
+
+	"hyperline"
+	"hyperline/internal/algo"
+	"hyperline/internal/core"
+	"hyperline/internal/experiments"
+	"hyperline/internal/gen"
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+	"hyperline/internal/spectral"
+	"hyperline/internal/spgemm"
+)
+
+var (
+	ljOnce sync.Once
+	ljH    *hg.Hypergraph
+
+	webOnce sync.Once
+	webH    *hg.Hypergraph
+
+	friendOnce sync.Once
+	friendH    *hg.Hypergraph
+
+	emailOnce sync.Once
+	emailH    *hg.Hypergraph
+
+	condOnce sync.Once
+	condH    *hg.Hypergraph
+)
+
+func lj() *hg.Hypergraph {
+	ljOnce.Do(func() { ljH = experiments.LiveJournalAnalog(1) })
+	return ljH
+}
+func web() *hg.Hypergraph {
+	webOnce.Do(func() { webH = experiments.WebAnalog(1) })
+	return webH
+}
+func friend() *hg.Hypergraph {
+	friendOnce.Do(func() { friendH = experiments.FriendsterAnalog(1) })
+	return friendH
+}
+func email() *hg.Hypergraph {
+	emailOnce.Do(func() { emailH = experiments.EmailAnalog(1) })
+	return emailH
+}
+func cond() *hg.Hypergraph {
+	condOnce.Do(func() { condH = experiments.CondMatAnalog(1) })
+	return condH
+}
+
+func cfgFor(b *testing.B, notation string) core.Config {
+	cfg, err := core.ParseNotation(notation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cfg.Algorithm == core.AlgoHashmap {
+		cfg.Store = core.TLSDense
+	}
+	return cfg
+}
+
+// ---- Table I: s-overlap stage, Algorithm 1 vs Algorithm 2 ----
+
+func BenchmarkTable1SOverlapAlgo1(b *testing.B) {
+	h := lj()
+	cfg := cfgFor(b, "1CN")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+func BenchmarkTable1SOverlapAlgo2(b *testing.B) {
+	h := lj()
+	cfg := cfgFor(b, "2BA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+// ---- Figure 4: s-clique ensemble on the disease-gene analog ----
+
+func BenchmarkFig4SCliqueEnsemble(b *testing.B) {
+	h := experiments.DisGeNetAnalog(1).Dual()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EnsembleEdges(h, experiments.Fig4SValues, core.Config{Store: core.TLSDense})
+	}
+}
+
+// ---- Table II: PageRank over s-clique graphs ----
+
+func BenchmarkTable2PageRank(b *testing.B) {
+	h := experiments.DisGeNetAnalog(1)
+	res := core.Run(h, 10, core.PipelineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.PageRank(res.Graph, algo.PageRankOptions{})
+	}
+}
+
+// ---- Figure 5: betweenness on the virology 5-line graph ----
+
+func BenchmarkFig5Betweenness(b *testing.B) {
+	res := core.Run(experiments.VirologyAnalog(1), 5, core.PipelineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Betweenness(res.Graph, par.Options{})
+	}
+}
+
+// ---- Figure 6: ensemble + normalized algebraic connectivity ----
+
+func BenchmarkFig6Ensemble(b *testing.B) {
+	h := cond()
+	sValues := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EnsembleEdges(h, sValues, core.Config{Store: core.TLSDense})
+	}
+}
+
+func BenchmarkFig6Connectivity(b *testing.B) {
+	res := core.Run(cond(), 8, core.PipelineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spectral.NormalizedAlgebraicConnectivity(res.Graph, spectral.Options{})
+	}
+}
+
+// ---- §V-C: the IMDB pipeline end to end ----
+
+func BenchmarkIMDBPipeline(b *testing.B) {
+	h := experiments.IMDBAnalog(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hyperline.SLineGraph(h, 101, hyperline.Options{TLSDenseCounters: true})
+		algo.ConnectedComponents(res.Graph)
+		algo.Betweenness(res.Graph, par.Options{})
+	}
+}
+
+// ---- Figure 7: the twelve Table III configurations ----
+
+func benchmarkFig7(b *testing.B, notation string) {
+	h := friend()
+	cfg := cfgFor(b, notation)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(h, 8, core.PipelineConfig{Core: cfg})
+	}
+}
+
+func BenchmarkFig7_1BD(b *testing.B) { benchmarkFig7(b, "1BD") }
+func BenchmarkFig7_1CD(b *testing.B) { benchmarkFig7(b, "1CD") }
+func BenchmarkFig7_1BA(b *testing.B) { benchmarkFig7(b, "1BA") }
+func BenchmarkFig7_1CA(b *testing.B) { benchmarkFig7(b, "1CA") }
+func BenchmarkFig7_1BN(b *testing.B) { benchmarkFig7(b, "1BN") }
+func BenchmarkFig7_1CN(b *testing.B) { benchmarkFig7(b, "1CN") }
+func BenchmarkFig7_2BN(b *testing.B) { benchmarkFig7(b, "2BN") }
+func BenchmarkFig7_2CN(b *testing.B) { benchmarkFig7(b, "2CN") }
+func BenchmarkFig7_2BA(b *testing.B) { benchmarkFig7(b, "2BA") }
+func BenchmarkFig7_2CA(b *testing.B) { benchmarkFig7(b, "2CA") }
+func BenchmarkFig7_2BD(b *testing.B) { benchmarkFig7(b, "2BD") }
+func BenchmarkFig7_2CD(b *testing.B) { benchmarkFig7(b, "2CD") }
+
+// ---- Figure 8: strong scaling of Algorithm 2 ----
+
+func benchmarkFig8(b *testing.B, threads int) {
+	h := lj()
+	cfg := cfgFor(b, "2CA")
+	cfg.Workers = threads
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+func BenchmarkFig8Threads1(b *testing.B)  { benchmarkFig8(b, 1) }
+func BenchmarkFig8Threads2(b *testing.B)  { benchmarkFig8(b, 2) }
+func BenchmarkFig8Threads4(b *testing.B)  { benchmarkFig8(b, 4) }
+func BenchmarkFig8Threads8(b *testing.B)  { benchmarkFig8(b, 8) }
+func BenchmarkFig8Threads16(b *testing.B) { benchmarkFig8(b, 16) }
+
+// ---- Figure 9: weak scaling on the DNS analog ----
+
+func benchmarkFig9(b *testing.B, files int) {
+	h := experiments.DNSAnalog(1, files)
+	cfg := core.Config{Workers: files, Store: core.TLSDense}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+func BenchmarkFig9Files1(b *testing.B) { benchmarkFig9(b, 1) }
+func BenchmarkFig9Files2(b *testing.B) { benchmarkFig9(b, 2) }
+func BenchmarkFig9Files4(b *testing.B) { benchmarkFig9(b, 4) }
+
+// ---- Figure 10: workload characterization (visit counting) ----
+
+func BenchmarkFig10VisitCounting(b *testing.B) {
+	h := lj()
+	cfg := cfgFor(b, "2CA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := core.SLineEdges(h, 8, cfg)
+		if len(stats.WedgesPerWorker) == 0 {
+			b.Fatal("no per-worker stats")
+		}
+	}
+}
+
+// ---- Figure 11: SpGEMM baselines vs Algorithms 1 and 2 ----
+
+func BenchmarkFig11SpGEMMFilter(b *testing.B) {
+	h := email()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spgemm.SLineFilter(h, 8, par.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11SpGEMMFilterUpper(b *testing.B) {
+	h := email()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spgemm.SLineFilterUpper(h, 8, par.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11SpGEMMHashUpper(b *testing.B) {
+	// The hash-accumulator SpGEMM models the Nagasaka et al. library
+	// the paper benchmarks against.
+	h := email()
+	a, bt := spgemm.EdgeView(h), spgemm.VertexView(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := spgemm.MultiplyHashUpper(a, bt, par.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spgemm.FilterS(l, 8)
+	}
+}
+
+func BenchmarkFig11Algo1CA(b *testing.B) {
+	h := email()
+	cfg := cfgFor(b, "1CA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(h, 8, core.PipelineConfig{Core: cfg})
+	}
+}
+
+func BenchmarkFig11Algo2BA(b *testing.B) {
+	h := email()
+	cfg := cfgFor(b, "2BA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(h, 8, core.PipelineConfig{Core: cfg})
+	}
+}
+
+// ---- Table V: end-to-end LPCC at s=1 vs s=8 ----
+
+func benchmarkTable5(b *testing.B, s int) {
+	h := friend()
+	cfg := cfgFor(b, "2CA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Run(h, s, core.PipelineConfig{Core: cfg})
+		algo.LabelPropagationCC(res.Graph, par.Options{})
+	}
+}
+
+func BenchmarkTable5LPCCS1(b *testing.B) { benchmarkTable5(b, 1) }
+func BenchmarkTable5LPCCS8(b *testing.B) { benchmarkTable5(b, 8) }
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// Counter storage: per-iteration maps vs pre-allocated TLS dense
+// counters (§III-F).
+func BenchmarkAblationCounterStoreMap(b *testing.B) {
+	h := web()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, core.Config{Store: core.MapPerIteration})
+	}
+}
+
+func BenchmarkAblationCounterStoreTLSDense(b *testing.B) {
+	h := web()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, core.Config{Store: core.TLSDense})
+	}
+}
+
+// Degree-based pruning on/off at a selective s.
+func BenchmarkAblationPruningOn(b *testing.B) {
+	h := lj()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 32, core.Config{Store: core.TLSDense})
+	}
+}
+
+func BenchmarkAblationPruningOff(b *testing.B) {
+	h := lj()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 32, core.Config{Store: core.TLSDense, DisablePruning: true})
+	}
+}
+
+// Short-circuited vs exact set intersections in Algorithm 1.
+func BenchmarkAblationShortCircuitOn(b *testing.B) {
+	h := email()
+	cfg := core.Config{Algorithm: core.AlgoSetIntersection}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+func BenchmarkAblationShortCircuitOff(b *testing.B) {
+	h := email()
+	cfg := core.Config{Algorithm: core.AlgoSetIntersection, DisableShortCircuit: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+// Granularity control (§III-F): blocked chunk-size sweep.
+func benchmarkGrain(b *testing.B, grain int) {
+	h := lj()
+	cfg := core.Config{Store: core.TLSDense, Grain: grain}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, cfg)
+	}
+}
+
+func BenchmarkAblationGrain16(b *testing.B)   { benchmarkGrain(b, 16) }
+func BenchmarkAblationGrain64(b *testing.B)   { benchmarkGrain(b, 64) }
+func BenchmarkAblationGrain256(b *testing.B)  { benchmarkGrain(b, 256) }
+func BenchmarkAblationGrain2048(b *testing.B) { benchmarkGrain(b, 2048) }
+
+// Toplex simplification (Stage 2) on/off on a subset-heavy input.
+func BenchmarkAblationToplexOff(b *testing.B) {
+	h := nestedHypergraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(h, 2, core.PipelineConfig{})
+	}
+}
+
+func BenchmarkAblationToplexOn(b *testing.B) {
+	h := nestedHypergraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(h, 2, core.PipelineConfig{Toplex: true})
+	}
+}
+
+var nestedOnce sync.Once
+var nestedH *hg.Hypergraph
+
+// nestedHypergraph has many hyperedges strictly contained in larger
+// ones, so Stage 2 shrinks it substantially.
+func nestedHypergraph() *hg.Hypergraph {
+	nestedOnce.Do(func() {
+		base := gen.Community(gen.CommunityConfig{
+			Seed: 7, NumVertices: 5000, NumCommunities: 400,
+			MeanCommunitySize: 12, EdgesPerCommunity: 1,
+		})
+		b := hg.NewBuilder(int(base.Incidences()) * 3)
+		e := uint32(0)
+		for i := 0; i < base.NumEdges(); i++ {
+			vs := base.EdgeVertices(uint32(i))
+			b.AddEdge(e, vs...)
+			e++
+			// Two nested sub-edges per toplex.
+			if len(vs) >= 4 {
+				b.AddEdge(e, vs[:len(vs)/2]...)
+				e++
+				b.AddEdge(e, vs[len(vs)/4:]...)
+				e++
+			}
+		}
+		nestedH = b.Build()
+	})
+	return nestedH
+}
+
+// ---- I/O sanity bench used in the README quickstart ----
+
+func BenchmarkQuickstartPipeline(b *testing.B) {
+	h := experiments.CompBoardAnalog(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hyperline.SLineGraph(h, 2, hyperline.Options{})
+		hyperline.SConnectedComponents(res)
+	}
+}

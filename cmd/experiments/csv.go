@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"hyperline/internal/core"
+	"hyperline/internal/experiments"
+)
+
+// csvWriter writes one figure's data series as a CSV file in dir,
+// ready for plotting. A nil dir disables export.
+type csvWriter struct {
+	dir string
+}
+
+func (c csvWriter) enabled() bool { return c.dir != "" }
+
+func (c csvWriter) write(name string, header []string, rows [][]string) error {
+	if !c.enabled() {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedStringKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (c csvWriter) fig4(d experiments.Fig4Data) error {
+	var rows [][]string
+	for _, ds := range sortedStringKeys(d.Edges) {
+		for _, s := range sortedIntKeys(d.Edges[ds]) {
+			rows = append(rows, []string{ds, strconv.Itoa(s), strconv.Itoa(d.Edges[ds][s])})
+		}
+	}
+	return c.write("fig4", []string{"dataset", "s", "edges"}, rows)
+}
+
+func (c csvWriter) fig6(d experiments.Fig6Data) error {
+	var rows [][]string
+	for _, s := range d.SValues {
+		rows = append(rows, []string{
+			strconv.Itoa(s),
+			strconv.FormatFloat(d.Connectivity[s], 'f', 6, 64),
+		})
+	}
+	return c.write("fig6", []string{"s", "normalized_algebraic_connectivity"}, rows)
+}
+
+func (c csvWriter) fig7(d experiments.Fig7Data) error {
+	var rows [][]string
+	for _, ds := range sortedStringKeys(d.Speedup) {
+		for _, notation := range core.AllNotations() {
+			rows = append(rows, []string{
+				ds, notation,
+				strconv.FormatFloat(d.Speedup[ds][notation], 'f', 3, 64),
+			})
+		}
+	}
+	return c.write("fig7", []string{"dataset", "config", "speedup_vs_1CN"}, rows)
+}
+
+func (c csvWriter) fig8(d experiments.Fig8Data) error {
+	var rows [][]string
+	for _, ds := range sortedStringKeys(d.Runtime) {
+		for _, notation := range sortedStringKeys(d.Runtime[ds]) {
+			for _, threads := range sortedIntKeys(d.Runtime[ds][notation]) {
+				rows = append(rows, []string{
+					ds, notation, strconv.Itoa(threads),
+					fmt.Sprintf("%.6f", d.Runtime[ds][notation][threads].Seconds()),
+				})
+			}
+		}
+	}
+	return c.write("fig8", []string{"dataset", "config", "threads", "soverlap_seconds"}, rows)
+}
+
+func (c csvWriter) fig9(d experiments.Fig9Data) error {
+	var rows [][]string
+	for _, s := range sortedIntKeys(d.Runtime) {
+		for _, files := range sortedIntKeys(d.Runtime[s]) {
+			rows = append(rows, []string{
+				strconv.Itoa(s), strconv.Itoa(files),
+				fmt.Sprintf("%.6f", d.Runtime[s][files].Seconds()),
+			})
+		}
+	}
+	return c.write("fig9", []string{"s", "files", "soverlap_seconds"}, rows)
+}
+
+func (c csvWriter) fig10(d experiments.Fig10Data) error {
+	var rows [][]string
+	for _, notation := range sortedStringKeys(d.Visits) {
+		for worker, visits := range d.Visits[notation] {
+			rows = append(rows, []string{
+				notation, strconv.Itoa(worker), strconv.FormatInt(visits, 10),
+			})
+		}
+	}
+	return c.write("fig10", []string{"config", "worker", "wedge_visits"}, rows)
+}
+
+func (c csvWriter) fig11(d experiments.Fig11Data) error {
+	var rows [][]string
+	for _, ds := range sortedStringKeys(d.Runtime) {
+		for _, method := range experiments.Fig11Methods {
+			for _, s := range sortedIntKeys(d.Runtime[ds][method]) {
+				rows = append(rows, []string{
+					ds, method, strconv.Itoa(s),
+					fmt.Sprintf("%.6f", d.Runtime[ds][method][s].Seconds()),
+				})
+			}
+		}
+	}
+	return c.write("fig11", []string{"dataset", "method", "s", "seconds"}, rows)
+}
+
+func (c csvWriter) table5(d experiments.Table5Data) error {
+	var rows [][]string
+	for _, ds := range sortedStringKeys(d.Time) {
+		for _, s := range sortedIntKeys(d.Time[ds]) {
+			rows = append(rows, []string{
+				ds, strconv.Itoa(s),
+				fmt.Sprintf("%.6f", d.Time[ds][s].Seconds()),
+				strconv.Itoa(d.Edges[ds][s]),
+			})
+		}
+	}
+	return c.write("table5", []string{"dataset", "s", "end_to_end_seconds", "edges"}, rows)
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation on the synthetic dataset analogs.
+//
+// Usage:
+//
+//	experiments [-scale N] [-workers N] [-threads N] [experiment ...]
+//
+// Experiments: table1 fig2 fig4 table2 fig5 fig6 imdb table3 table4
+// fig7 fig8 fig9 fig10 fig11 table5, or "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hyperline/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "dataset scale multiplier")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	maxThreads := flag.Int("threads", runtime.GOMAXPROCS(0), "max threads for scaling experiments")
+	maxFiles := flag.Int("files", 8, "max DNS file count for weak scaling")
+	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	flag.Parse()
+	cw := csvWriter{dir: *csvDir}
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = []string{
+			"table1", "fig2", "fig4", "table2", "fig5", "fig6", "imdb",
+			"table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "table5",
+		}
+	}
+
+	s := experiments.Scale(*scale)
+	w := os.Stdout
+	for _, name := range names {
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		t0 := time.Now()
+		var csvErr error
+		switch name {
+		case "table1":
+			experiments.Table1(w, s, *workers)
+		case "fig2":
+			experiments.Fig2(w)
+		case "fig4":
+			csvErr = cw.fig4(experiments.Fig4(w, s, *workers))
+		case "table2":
+			experiments.Table2(w, s, *workers)
+		case "fig5":
+			experiments.Fig5(w, s, *workers)
+		case "fig6":
+			csvErr = cw.fig6(experiments.Fig6(w, s, *workers))
+		case "imdb", "sec5c":
+			experiments.IMDB(w, s, *workers)
+		case "table3":
+			experiments.Table3(w)
+		case "table4":
+			experiments.Table4(w, s)
+		case "fig7":
+			csvErr = cw.fig7(experiments.Fig7(w, s, *workers))
+		case "fig8":
+			csvErr = cw.fig8(experiments.Fig8(w, s, *maxThreads))
+		case "fig9":
+			csvErr = cw.fig9(experiments.Fig9(w, s, *maxFiles))
+		case "fig10":
+			csvErr = cw.fig10(experiments.Fig10(w, s, *maxThreads))
+		case "fig11":
+			csvErr = cw.fig11(experiments.Fig11(w, s, *workers))
+		case "table5":
+			csvErr = cw.table5(experiments.Table5(w, s, *workers))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if csvErr != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", csvErr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,84 @@
+// Command hypergen generates synthetic hypergraph datasets in the
+// shapes of the paper's evaluation inputs and writes them as text
+// files readable by hyperline.Load / cmd/slinegraph.
+//
+// Usage:
+//
+//	hypergen -kind zipf -vertices 10000 -edges 5000 -out data.hgr
+//	hypergen -kind community -vertices 30000 -communities 3000 -out lj.pairs
+//	hypergen -kind dns -files 4 -out dns.hgr
+//	hypergen -kind authors|genes|disease|actors -out x.hgr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperline/internal/gen"
+	"hyperline/internal/hg"
+	"hyperline/internal/hgio"
+)
+
+func main() {
+	kind := flag.String("kind", "zipf", "generator: zipf, community, dns, authors, genes, disease, actors")
+	out := flag.String("out", "", "output path (.pairs = incidence pairs; otherwise adjacency lines)")
+	seed := flag.Int64("seed", 42, "random seed")
+	vertices := flag.Int("vertices", 10000, "number of vertices")
+	edges := flag.Int("edges", 5000, "number of hyperedges (zipf)")
+	meanSize := flag.Int("meansize", 4, "mean hyperedge size (zipf)")
+	skew := flag.Float64("skew", 1.2, "Zipf skew exponent (zipf)")
+	communities := flag.Int("communities", 1000, "communities (community)")
+	commSize := flag.Int("commsize", 10, "mean community size (community)")
+	edgesPer := flag.Int("edgesper", 4, "hyperedges per community (community)")
+	files := flag.Int("files", 4, "file count (dns)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "hypergen: -out is required")
+		os.Exit(2)
+	}
+
+	var h *hg.Hypergraph
+	switch *kind {
+	case "zipf":
+		h = gen.Zipf(gen.ZipfConfig{
+			Seed: *seed, NumVertices: *vertices, NumEdges: *edges,
+			MeanEdgeSize: *meanSize, Skew: *skew,
+		})
+	case "community":
+		h = gen.Community(gen.CommunityConfig{
+			Seed: *seed, NumVertices: *vertices, NumCommunities: *communities,
+			MeanCommunitySize: *commSize, EdgesPerCommunity: *edgesPer,
+		})
+	case "dns":
+		h = gen.DNSLike(gen.DNSConfig{Seed: *seed, Files: *files})
+	case "authors":
+		h = gen.AuthorPaper(gen.AuthorPaperConfig{
+			Seed: *seed, NumAuthors: *vertices, NumClusters: *communities,
+			ClusterSize: 4, MaxClusterSize: 20, PapersPerCluster: 8,
+		})
+	case "genes":
+		h = gen.GeneCondition(gen.GeneConditionConfig{
+			Seed: *seed, NumConditions: 201, NumGenes: *edges, Hubs: 6, HubShared: 110,
+		})
+	case "disease":
+		h = gen.GeneDisease(gen.GeneDiseaseConfig{
+			Seed: *seed, NumGenes: *vertices, NumDiseases: *edges, HubDiseases: 8,
+		})
+	case "actors":
+		h = gen.ActorMovie(gen.ActorMovieConfig{
+			Seed: *seed, NumMovies: *vertices, NumActors: *edges,
+			GroupSizes: []int{5, 2, 2, 2}, SharedMovies: 101,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "hypergen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := hgio.SaveFile(*out, h); err != nil {
+		fmt.Fprintf(os.Stderr, "hypergen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%v\n", hg.ComputeStats(*out, h))
+}

@@ -1,0 +1,72 @@
+package hyperline_test
+
+import (
+	"fmt"
+
+	"hyperline"
+)
+
+// ExampleSLineGraph computes the 2-line graph of the paper's running
+// example: hyperedges sharing at least two vertices become adjacent.
+func ExampleSLineGraph() {
+	h := hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2},       // hyperedge 0: {a,b,c}
+		{1, 2, 3},       // hyperedge 1: {b,c,d}
+		{0, 1, 2, 3, 4}, // hyperedge 2: {a,b,c,d,e}
+		{4, 5},          // hyperedge 3: {e,f}
+	}, 6)
+	res := hyperline.SLineGraph(h, 2, hyperline.Options{})
+	for _, e := range res.Graph.Edges() {
+		fmt.Printf("hyperedge %d -- %d (overlap %d)\n",
+			res.HyperedgeID(e.U), res.HyperedgeID(e.V), e.W)
+	}
+	// Output:
+	// hyperedge 0 -- 1 (overlap 2)
+	// hyperedge 0 -- 2 (overlap 3)
+	// hyperedge 1 -- 2 (overlap 3)
+}
+
+// ExampleSCliqueGraph computes the clique expansion (the 1-clique
+// graph) and reads off adj(b, c), the number of hyperedges containing
+// both vertices.
+func ExampleSCliqueGraph() {
+	h := hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6)
+	clique := hyperline.SCliqueGraph(h, 1, hyperline.Options{NoSqueeze: true})
+	fmt.Println("edges:", clique.Graph.NumEdges())
+	fmt.Println("adj(b,c):", clique.Graph.Weight(1, 2))
+	// Output:
+	// edges: 11
+	// adj(b,c): 3
+}
+
+// ExampleSLineGraphEnsemble sweeps s and reports when the line graph
+// becomes empty, together with MaxOverlap.
+func ExampleSLineGraphEnsemble() {
+	h := hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6)
+	ens := hyperline.SLineGraphEnsemble(h, []int{1, 2, 3, 4}, hyperline.Options{})
+	for s := 1; s <= 4; s++ {
+		fmt.Printf("s=%d: %d edges\n", s, ens[s].Graph.NumEdges())
+	}
+	fmt.Println("max overlap:", hyperline.MaxOverlap(h, 0))
+	// Output:
+	// s=1: 4 edges
+	// s=2: 3 edges
+	// s=3: 2 edges
+	// s=4: 0 edges
+	// max overlap: 3
+}
+
+// ExampleSConnectedComponentsDirect finds s-connected components
+// without materializing the line graph.
+func ExampleSConnectedComponentsDirect() {
+	h := hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6)
+	fmt.Println(hyperline.SConnectedComponentsDirect(h, 3))
+	// Output:
+	// [0 0 0 3]
+}

@@ -1,0 +1,44 @@
+// Quickstart: build the paper's running example hypergraph (Fig. 1),
+// compute its s-line graphs for s = 1..4 (Fig. 2), and run s-measures
+// on them.
+package main
+
+import (
+	"fmt"
+
+	"hyperline"
+)
+
+func main() {
+	// The hypergraph of Fig. 1: vertices a..f (0..5), hyperedges
+	// 1:{a,b,c}, 2:{b,c,d}, 3:{a,b,c,d,e}, 4:{e,f}.
+	h := hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2},
+		{1, 2, 3},
+		{0, 1, 2, 3, 4},
+		{4, 5},
+	}, 6)
+
+	fmt.Printf("hypergraph: %d vertices, %d hyperedges, %d incidences\n",
+		h.NumVertices(), h.NumEdges(), h.Incidences())
+
+	for s := 1; s <= 4; s++ {
+		res := hyperline.SLineGraph(h, s, hyperline.Options{})
+		fmt.Printf("\ns=%d line graph: %d nodes, %d edges\n",
+			s, res.Graph.NumNodes(), res.Graph.NumEdges())
+		for _, e := range res.Graph.Edges() {
+			fmt.Printf("  hyperedge %d -- hyperedge %d (overlap %d)\n",
+				res.HyperedgeID(e.U)+1, res.HyperedgeID(e.V)+1, e.W)
+		}
+		cc := hyperline.SConnectedComponents(res)
+		fmt.Printf("  %d-connected components: %d\n", s, cc.Count)
+	}
+
+	// The dual view: the 1-clique graph is the clique expansion H₂
+	// (Fig. 3), linking vertices that share a hyperedge.
+	clique := hyperline.SCliqueGraph(h, 1, hyperline.Options{NoSqueeze: true})
+	fmt.Printf("\nclique expansion: %d nodes, %d edges\n",
+		clique.Graph.NumNodes(), clique.Graph.NumEdges())
+	fmt.Printf("vertices b,c co-occur in %d hyperedges (adj(b,c))\n",
+		clique.Graph.Weight(1, 2))
+}

@@ -1,0 +1,289 @@
+// Package hyperline computes high-order (s ≥ 1) line graphs of
+// non-uniform hypergraphs and s-measures on them, reproducing the
+// framework of Liu et al., "High-order Line Graphs of Non-uniform
+// Hypergraphs: Algorithms, Applications, and Experimental Analysis"
+// (IPDPS 2022).
+//
+// Two hyperedges are s-incident when they share at least s vertices;
+// the s-line graph Ls(H) has the hyperedges of H as nodes and an edge
+// between every s-incident pair, weighted by the overlap size. Dually,
+// applying the same computation to H* (the dual hypergraph) yields
+// s-clique graphs, which generalize the clique expansion (the 1-clique
+// graph).
+//
+// # Quick start
+//
+//	h := hyperline.FromEdgeSlices([][]uint32{{0,1,2},{1,2,3},{0,1,2,3,4},{4,5}}, 6)
+//	res := hyperline.SLineGraph(h, 2, hyperline.Options{})
+//	cc := hyperline.SConnectedComponents(res)
+//
+// The package is a facade over the internal implementation packages:
+// hg (hypergraph CSR substrate), core (the s-overlap algorithms),
+// graph (the materialized line graph), algo (s-measures), spectral
+// (normalized algebraic connectivity), toplex (Stage-2
+// simplification), spgemm (the SpGEMM baseline), gen (synthetic
+// dataset generators) and hgio (text I/O).
+package hyperline
+
+import (
+	"hyperline/internal/algo"
+	"hyperline/internal/core"
+	"hyperline/internal/graph"
+	"hyperline/internal/hg"
+	"hyperline/internal/hgio"
+	"hyperline/internal/par"
+	"hyperline/internal/spectral"
+)
+
+// Hypergraph is an immutable hypergraph in CSR form (both the
+// edge→vertex and vertex→edge orientations are stored, so the dual view
+// is free).
+type Hypergraph = hg.Hypergraph
+
+// Builder incrementally assembles a Hypergraph from incidence pairs.
+type Builder = hg.Builder
+
+// Stats summarizes a hypergraph (the columns of the paper's Table IV).
+type Stats = hg.Stats
+
+// Graph is a weighted undirected graph — the materialized s-line graph.
+type Graph = graph.Graph
+
+// Edge is one weighted s-line graph edge {U, V} with overlap weight W.
+type Edge = graph.Edge
+
+// Result is the output of SLineGraph: the graph plus the mapping from
+// graph nodes back to input hyperedge IDs and per-stage timings.
+type Result = core.PipelineResult
+
+// Components is a connected-component labeling.
+type Components = algo.Components
+
+// NewBuilder returns a builder with capacity for n incidence pairs.
+func NewBuilder(n int) *Builder { return hg.NewBuilder(n) }
+
+// FromEdgeSlices builds a hypergraph where edges[i] lists the member
+// vertices of hyperedge i; numVertices may be 0 to infer the vertex
+// space from the data.
+func FromEdgeSlices(edges [][]uint32, numVertices int) *Hypergraph {
+	return hg.FromEdgeSlices(edges, numVertices)
+}
+
+// Load reads a hypergraph from a text file (".pairs" for "edge vertex"
+// incidence pairs; otherwise one hyperedge per line).
+func Load(path string) (*Hypergraph, error) { return hgio.LoadFile(path) }
+
+// Save writes a hypergraph to a text file, choosing the format by
+// extension as in Load.
+func Save(path string, h *Hypergraph) error { return hgio.SaveFile(path, h) }
+
+// ComputeStats derives Table IV-style statistics.
+func ComputeStats(name string, h *Hypergraph) Stats { return hg.ComputeStats(name, h) }
+
+// Algorithm selects the s-overlap algorithm.
+type Algorithm = core.Algorithm
+
+// The s-overlap algorithms of the paper.
+const (
+	// AlgoSetIntersection is Algorithm 1, the prior state-of-the-art
+	// set-intersection baseline (HiPC'21).
+	AlgoSetIntersection = core.AlgoSetIntersection
+	// AlgoHashmap is Algorithm 2, the paper's hashmap-based algorithm
+	// that performs no set intersections (the default).
+	AlgoHashmap = core.AlgoHashmap
+)
+
+// Strategy selects the workload distribution (Table III "B"/"C").
+type Strategy = par.Strategy
+
+// Workload distribution strategies.
+const (
+	Blocked = par.Blocked
+	Cyclic  = par.Cyclic
+)
+
+// RelabelOrder selects Stage-1 relabel-by-degree (Table III "A"/"D"/"N").
+type RelabelOrder = hg.RelabelOrder
+
+// Relabel-by-degree orders.
+const (
+	RelabelNone       = hg.RelabelNone
+	RelabelAscending  = hg.RelabelAscending
+	RelabelDescending = hg.RelabelDescending
+)
+
+// Options configures an s-line graph computation. The zero value runs
+// Algorithm 2 with blocked distribution, no relabeling, ID squeezing
+// on, and GOMAXPROCS workers.
+type Options struct {
+	// Algorithm: AlgoHashmap (default) or AlgoSetIntersection.
+	Algorithm Algorithm
+	// Partition: Blocked (default) or Cyclic workload distribution.
+	Partition Strategy
+	// Relabel: hyperedge relabel-by-degree order applied during
+	// preprocessing.
+	Relabel RelabelOrder
+	// Workers: parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Grain: blocked-chunk size (0 = default).
+	Grain int
+	// TLSDenseCounters switches Algorithm 2 from per-iteration
+	// hashmaps to pre-allocated per-worker dense counters (better for
+	// dense overlap structure).
+	TLSDenseCounters bool
+	// ExactWeights makes Algorithm 1 compute exact overlap counts
+	// instead of short-circuiting at s (Algorithm 2 is always exact).
+	ExactWeights bool
+	// Toplex enables Stage-2 simplification to maximal hyperedges.
+	Toplex bool
+	// NoSqueeze keeps the raw hyperedge ID space as node IDs instead
+	// of compacting it (Stage 4).
+	NoSqueeze bool
+}
+
+func (o Options) pipeline() core.PipelineConfig {
+	store := core.MapPerIteration
+	if o.TLSDenseCounters {
+		store = core.TLSDense
+	}
+	return core.PipelineConfig{
+		Core: core.Config{
+			Algorithm:           o.Algorithm,
+			Partition:           o.Partition,
+			Relabel:             o.Relabel,
+			Workers:             o.Workers,
+			Grain:               o.Grain,
+			Store:               store,
+			DisableShortCircuit: o.ExactWeights,
+		},
+		Toplex:    o.Toplex,
+		NoSqueeze: o.NoSqueeze,
+	}
+}
+
+func (o Options) par() par.Options {
+	return par.Options{Workers: o.Workers, Grain: o.Grain, Strategy: o.Partition}
+}
+
+// SLineGraph computes the s-line graph Ls(H) through the full pipeline:
+// preprocessing (with optional relabel-by-degree), optional toplex
+// simplification, the s-overlap computation, and ID squeezing. Node u
+// of the result graph represents input hyperedge res.HyperedgeID(u).
+func SLineGraph(h *Hypergraph, s int, opt Options) *Result {
+	return core.Run(h, s, opt.pipeline())
+}
+
+// SLineGraphEnsemble computes an ensemble of s-line graphs for every
+// distinct s in sValues with a single counting pass (Algorithm 3).
+// More memory-intensive than repeated SLineGraph calls but counts each
+// wedge once.
+func SLineGraphEnsemble(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
+	return core.RunEnsemble(h, sValues, opt.pipeline())
+}
+
+// SCliqueGraph computes the s-clique graph: the s-line graph of the
+// dual hypergraph, linking vertices of H that share at least s
+// hyperedges. The 1-clique graph is the clique expansion (§III-H).
+// Node u of the result graph represents input vertex res.HyperedgeID(u)
+// (hyperedges of the dual are vertices of H).
+func SCliqueGraph(h *Hypergraph, s int, opt Options) *Result {
+	return core.Run(h.Dual(), s, opt.pipeline())
+}
+
+// SConnectedComponents computes the s-connected components of an
+// s-line graph result (union-find reference implementation). Component
+// labels index graph nodes; map through res.HyperedgeID for input IDs.
+func SConnectedComponents(res *Result) *Components {
+	return algo.ConnectedComponents(res.Graph)
+}
+
+// LabelPropagationCC runs the parallel label-propagation connected
+// components (LPCC) algorithm benchmarked in the paper's Table V.
+func LabelPropagationCC(g *Graph, workers int) *Components {
+	return algo.LabelPropagationCC(g, par.Options{Workers: workers})
+}
+
+// SBetweenness computes the s-betweenness centrality of every node of
+// an s-line graph (Brandes, parallel over sources). Use
+// NormalizeBetweenness for [0,1]-scaled scores.
+func SBetweenness(res *Result, workers int) []float64 {
+	return algo.Betweenness(res.Graph, par.Options{Workers: workers})
+}
+
+// NormalizeBetweenness rescales raw betweenness scores by
+// 1/((n-1)(n-2)).
+func NormalizeBetweenness(scores []float64) []float64 { return algo.Normalize(scores) }
+
+// SDistances returns the s-distances (shortest s-walk lengths) from
+// the given node to all nodes; -1 marks unreachable nodes.
+func SDistances(g *Graph, src uint32) []int32 { return algo.BFSDistances(g, src) }
+
+// PageRank computes the PageRank vector of a graph (damping 0.85).
+func PageRank(g *Graph, workers int) []float64 {
+	return algo.PageRank(g, algo.PageRankOptions{Par: par.Options{Workers: workers}})
+}
+
+// NormalizedAlgebraicConnectivity returns the second-smallest
+// eigenvalue of the normalized Laplacian of the largest connected
+// component of g — the per-s connectivity measure of the paper's
+// Fig. 6.
+func NormalizedAlgebraicConnectivity(g *Graph) float64 {
+	return spectral.NormalizedAlgebraicConnectivity(g, spectral.Options{})
+}
+
+// SCloseness computes the s-closeness centrality of every node of an
+// s-line graph (Wasserman-Faust corrected for disconnected graphs).
+func SCloseness(res *Result, workers int) []float64 {
+	return algo.ClosenessCentrality(res.Graph, par.Options{Workers: workers})
+}
+
+// SHarmonic computes the harmonic centrality of every node of an
+// s-line graph, normalized by n-1.
+func SHarmonic(res *Result, workers int) []float64 {
+	return algo.HarmonicCentrality(res.Graph, par.Options{Workers: workers})
+}
+
+// SEccentricities returns the s-eccentricity of every node; the
+// maximum is the s-diameter.
+func SEccentricities(res *Result, workers int) []int32 {
+	return algo.Eccentricities(res.Graph, par.Options{Workers: workers})
+}
+
+// SDiameter returns the s-diameter of an s-line graph: the longest
+// shortest s-walk between any two s-connected hyperedges.
+func SDiameter(res *Result, workers int) int32 {
+	var max int32
+	for _, e := range algo.Eccentricities(res.Graph, par.Options{Workers: workers}) {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// ClusteringCoefficients returns the local clustering coefficient of
+// every node of g.
+func ClusteringCoefficients(g *Graph, workers int) []float64 {
+	return algo.ClusteringCoefficients(g, par.Options{Workers: workers})
+}
+
+// GlobalClusteringCoefficient returns the transitivity of g.
+func GlobalClusteringCoefficient(g *Graph, workers int) float64 {
+	return algo.GlobalClusteringCoefficient(g, par.Options{Workers: workers})
+}
+
+// MaxOverlap returns the maximum pairwise hyperedge overlap of h — the
+// largest s for which the s-line graph is non-empty.
+func MaxOverlap(h *Hypergraph, workers int) int {
+	return core.MaxOverlap(h, core.Config{Workers: workers})
+}
+
+// SConnectedComponentsDirect computes the s-connected components of
+// the hyperedges without materializing the s-line graph, trading
+// repeated overlap counting for O(|E|) memory — useful when the s-line
+// graph (e.g. the clique-expansion regime at s=1) is too dense to
+// store. The result maps each hyperedge to the minimum hyperedge ID of
+// its component.
+func SConnectedComponentsDirect(h *Hypergraph, s int) []uint32 {
+	return core.SConnectedComponentsDirect(h, s)
+}

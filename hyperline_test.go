@@ -1,0 +1,202 @@
+package hyperline
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func example() *Hypergraph {
+	return FromEdgeSlices([][]uint32{
+		{0, 1, 2},
+		{1, 2, 3},
+		{0, 1, 2, 3, 4},
+		{4, 5},
+	}, 6)
+}
+
+func TestSLineGraphQuickstart(t *testing.T) {
+	res := SLineGraph(example(), 2, Options{})
+	if res.Graph.NumEdges() != 3 {
+		t.Fatalf("2-line graph edges = %d, want 3", res.Graph.NumEdges())
+	}
+	// Hyperedges 0,1,2 survive; hyperedge 3 ({e,f}) is isolated at s=2.
+	if res.Graph.NumNodes() != 3 {
+		t.Fatalf("2-line graph nodes = %d, want 3", res.Graph.NumNodes())
+	}
+	ids := map[uint32]bool{}
+	for n := 0; n < res.Graph.NumNodes(); n++ {
+		ids[res.HyperedgeID(uint32(n))] = true
+	}
+	if !ids[0] || !ids[1] || !ids[2] {
+		t.Fatalf("wrong surviving hyperedges: %v", ids)
+	}
+}
+
+func TestSCliqueGraphIsCliqueExpansionAtS1(t *testing.T) {
+	// The 1-clique graph is the clique expansion H₂ (Figure 3): edges
+	// between every vertex pair co-occurring in some hyperedge.
+	res := SCliqueGraph(example(), 1, Options{NoSqueeze: true})
+	want := [][2]uint32{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4},
+		{1, 2}, {1, 3}, {1, 4},
+		{2, 3}, {2, 4},
+		{3, 4},
+		{4, 5},
+	}
+	var got [][2]uint32
+	for _, e := range res.Graph.Edges() {
+		got = append(got, [2]uint32{e.U, e.V})
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("2-section edges = %v, want %v", got, want)
+	}
+}
+
+func TestSCliqueWeightsAreSharedEdgeCounts(t *testing.T) {
+	// adj(b,c) = 3: vertices b and c share three hyperedges.
+	res := SCliqueGraph(example(), 1, Options{NoSqueeze: true})
+	if w := res.Graph.Weight(1, 2); w != 3 {
+		t.Fatalf("weight(b,c) = %d, want 3", w)
+	}
+}
+
+func TestSConnectedComponentsOnExample(t *testing.T) {
+	res := SLineGraph(example(), 1, Options{NoSqueeze: true})
+	cc := SConnectedComponents(res)
+	if cc.Count != 1 {
+		t.Fatalf("1-line graph components = %d, want 1", cc.Count)
+	}
+	res3 := SLineGraph(example(), 3, Options{NoSqueeze: true})
+	cc3 := SConnectedComponents(res3)
+	// s=3: {0,1,2} connected; 3 isolated → 2 components.
+	if cc3.Count != 2 {
+		t.Fatalf("3-line graph components = %d, want 2", cc3.Count)
+	}
+}
+
+func TestEnsembleMatchesSingleRuns(t *testing.T) {
+	h := example()
+	ens := SLineGraphEnsemble(h, []int{1, 2, 3}, Options{})
+	for s := 1; s <= 3; s++ {
+		single := SLineGraph(h, s, Options{})
+		if ens[s].Graph.NumEdges() != single.Graph.NumEdges() {
+			t.Fatalf("s=%d: ensemble %d edges, single %d", s,
+				ens[s].Graph.NumEdges(), single.Graph.NumEdges())
+		}
+	}
+}
+
+func TestAlgorithmsAgreeViaFacade(t *testing.T) {
+	h := example()
+	a1 := SLineGraph(h, 2, Options{Algorithm: AlgoSetIntersection, ExactWeights: true})
+	a2 := SLineGraph(h, 2, Options{Algorithm: AlgoHashmap})
+	a2t := SLineGraph(h, 2, Options{Algorithm: AlgoHashmap, TLSDenseCounters: true})
+	if !reflect.DeepEqual(a1.Graph.Edges(), a2.Graph.Edges()) {
+		t.Fatal("algorithm 1 and 2 disagree")
+	}
+	if !reflect.DeepEqual(a2.Graph.Edges(), a2t.Graph.Edges()) {
+		t.Fatal("counter stores disagree")
+	}
+}
+
+func TestBetweennessAndPageRankOnLineGraph(t *testing.T) {
+	res := SLineGraph(example(), 1, Options{NoSqueeze: true})
+	b := SBetweenness(res, 2)
+	if len(b) != 4 {
+		t.Fatalf("betweenness len = %d, want 4", len(b))
+	}
+	// Node 2 (hyperedge 3) is the cut vertex between node 3
+	// (hyperedge 4) and nodes 0, 1.
+	if b[2] <= b[0] || b[2] <= b[1] || b[2] <= b[3] {
+		t.Fatalf("hyperedge 3 should have the highest betweenness: %v", b)
+	}
+	norm := NormalizeBetweenness(b)
+	if norm[2] <= 0 || norm[2] > 1 {
+		t.Fatalf("normalized betweenness out of range: %v", norm)
+	}
+	pr := PageRank(res.Graph, 2)
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %f", sum)
+	}
+}
+
+func TestSDistances(t *testing.T) {
+	res := SLineGraph(example(), 1, Options{NoSqueeze: true})
+	d := SDistances(res.Graph, 0)
+	// 0-1 adjacent, 0-2 adjacent, 0-3 via 2.
+	want := []int32{0, 1, 1, 2}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("distances = %v, want %v", d, want)
+	}
+}
+
+func TestLabelPropagationCCFacade(t *testing.T) {
+	res := SLineGraph(example(), 3, Options{NoSqueeze: true})
+	lp := LabelPropagationCC(res.Graph, 4)
+	uf := SConnectedComponents(res)
+	if lp.Count != uf.Count || !reflect.DeepEqual(lp.Label, uf.Label) {
+		t.Fatal("LPCC disagrees with union-find")
+	}
+}
+
+func TestNormalizedAlgebraicConnectivityFacade(t *testing.T) {
+	// 1-line graph of the example: triangle (0,1,2) + pendant 3 on 2.
+	res := SLineGraph(example(), 1, Options{})
+	lam := NormalizedAlgebraicConnectivity(res.Graph)
+	if lam <= 0 || lam >= 2 {
+		t.Fatalf("λ₂ = %f out of (0,2)", lam)
+	}
+	// The triangle-only s=2 graph is better connected.
+	res2 := SLineGraph(example(), 2, Options{})
+	if l2 := NormalizedAlgebraicConnectivity(res2.Graph); l2 <= lam {
+		t.Fatalf("λ₂(s=2)=%f should exceed λ₂(s=1)=%f", l2, lam)
+	}
+}
+
+func TestToplexOption(t *testing.T) {
+	res := SLineGraph(example(), 1, Options{Toplex: true})
+	// Only toplexes {3, 4} (ids 2, 3) survive → a single edge.
+	if res.Graph.NumEdges() != 1 {
+		t.Fatalf("toplex 1-line edges = %d, want 1", res.Graph.NumEdges())
+	}
+}
+
+func TestLoadSaveFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.hgr")
+	h := example()
+	if err := Save(path, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != h.NumEdges() || got.Incidences() != h.Incidences() {
+		t.Fatal("load/save round trip failed")
+	}
+}
+
+func TestComputeStatsFacade(t *testing.T) {
+	s := ComputeStats("example", example())
+	if s.NumEdges != 4 || s.MaxEdgeSize != 5 {
+		t.Fatalf("bad stats %+v", s)
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	h := b.Build()
+	res := SLineGraph(h, 1, Options{})
+	if res.Graph.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", res.Graph.NumEdges())
+	}
+}

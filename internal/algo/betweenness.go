@@ -1,0 +1,134 @@
+package algo
+
+import (
+	"sync"
+
+	"hyperline/internal/graph"
+	"hyperline/internal/par"
+)
+
+// Betweenness computes the betweenness centrality of every node using
+// Brandes' algorithm, parallelized over source vertices with per-worker
+// accumulators. On an s-line graph this is exactly the s-betweenness
+// centrality of §II-B: for hyperedge e,
+//
+//	C(e) = Σ_{f≠g} σ_fg(e) / σ_fg
+//
+// where σ_fg counts shortest s-walks from f to g and σ_fg(e) those
+// passing through e. Edges are treated as unweighted (shortest s-walks
+// count hops). Scores count each unordered pair twice, matching the
+// standard undirected convention; use Normalize for the paper's
+// normalized scores.
+func Betweenness(g *graph.Graph, opt par.Options) []float64 {
+	n := g.NumNodes()
+	w := opt.EffectiveWorkers()
+
+	type workspace struct {
+		sigma []float64 // shortest-path counts
+		dist  []int32
+		delta []float64 // dependency accumulation
+		order []uint32  // BFS visit order (stack)
+		score []float64 // per-worker centrality accumulator
+	}
+	pool := sync.Pool{New: func() any {
+		ws := &workspace{
+			sigma: make([]float64, n),
+			dist:  make([]int32, n),
+			delta: make([]float64, n),
+			order: make([]uint32, 0, n),
+			score: make([]float64, n),
+		}
+		for i := range ws.dist {
+			ws.dist[i] = -1
+		}
+		return ws
+	}}
+	perWorker := make([]*workspace, w)
+	var mu sync.Mutex
+
+	par.For(n, opt, func(worker, src int) {
+		ws := perWorker[worker]
+		if ws == nil {
+			ws = pool.Get().(*workspace)
+			perWorker[worker] = ws
+		}
+		brandesFromSource(g, uint32(src), ws.sigma, ws.dist, ws.delta, &ws.order, ws.score)
+	})
+
+	// Mu guards nothing concurrent here (all workers joined), but
+	// keeps the reduction obviously safe if refactored.
+	mu.Lock()
+	defer mu.Unlock()
+	total := make([]float64, n)
+	for _, ws := range perWorker {
+		if ws == nil {
+			continue
+		}
+		for u, s := range ws.score {
+			total[u] += s
+		}
+	}
+	return total
+}
+
+// brandesFromSource performs one Brandes iteration: BFS from src, then
+// backward dependency accumulation into score. The scratch slices must
+// have dist pre-set to -1 and sigma/delta zeroed; they are restored on
+// return so they can be reused.
+func brandesFromSource(g *graph.Graph, src uint32, sigma []float64, dist []int32, delta []float64, order *[]uint32, score []float64) {
+	queue := (*order)[:0]
+	sigma[src] = 1
+	dist[src] = 0
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		ids, _ := g.Neighbors(u)
+		for _, v := range ids {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	// Dependency accumulation in reverse BFS order.
+	for i := len(queue) - 1; i >= 0; i-- {
+		u := queue[i]
+		ids, _ := g.Neighbors(u)
+		for _, v := range ids {
+			if dist[v] == dist[u]+1 {
+				delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+			}
+		}
+		if u != src {
+			score[u] += delta[u]
+		}
+	}
+	// Reset scratch for the next source.
+	for _, u := range queue {
+		sigma[u] = 0
+		dist[u] = -1
+		delta[u] = 0
+	}
+	*order = queue
+}
+
+// Normalize rescales betweenness scores into [0, 1] by the number of
+// ordered node pairs excluding the node itself, (n-1)(n-2); this is the
+// normalization NetworkX applies for undirected graphs (scores are
+// additionally halved because each unordered pair is counted twice).
+// n ≤ 2 yields all-zero scores.
+func Normalize(scores []float64) []float64 {
+	n := len(scores)
+	out := make([]float64, n)
+	if n <= 2 {
+		return out
+	}
+	scale := 1.0 / (float64(n-1) * float64(n-2))
+	for i, s := range scores {
+		out[i] = s * scale
+	}
+	return out
+}

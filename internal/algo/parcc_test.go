@@ -1,0 +1,65 @@
+package algo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/graph"
+	"hyperline/internal/par"
+)
+
+func TestParallelCCMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(80), r.Intn(160))
+		want := ConnectedComponents(g)
+		for _, w := range []int{1, 4, 16} {
+			got := ParallelCC(g, par.Options{Workers: w})
+			if got.Count != want.Count || !reflect.DeepEqual(got.Label, want.Label) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCCHighDiameter(t *testing.T) {
+	// A long path is LPCC's worst case; union-find handles it in one
+	// pass. Check all three agree.
+	g := pathGraph(5000)
+	uf := ConnectedComponents(g)
+	pcc := ParallelCC(g, par.Options{Workers: 8})
+	lp := LabelPropagationCC(g, par.Options{Workers: 8})
+	if uf.Count != 1 || pcc.Count != 1 || lp.Count != 1 {
+		t.Fatalf("counts: %d %d %d, want 1", uf.Count, pcc.Count, lp.Count)
+	}
+	if !reflect.DeepEqual(uf.Label, pcc.Label) || !reflect.DeepEqual(uf.Label, lp.Label) {
+		t.Fatal("labelings disagree")
+	}
+}
+
+func TestParallelCCStressRace(t *testing.T) {
+	// Many workers hammering a dense graph; run repeatedly to shake
+	// out CAS races (and under -race in CI).
+	r := rand.New(rand.NewSource(99))
+	g := randomGraph(r, 300, 3000)
+	want := ConnectedComponents(g)
+	for i := 0; i < 20; i++ {
+		got := ParallelCC(g, par.Options{Workers: 16, Strategy: par.Cyclic})
+		if !reflect.DeepEqual(got.Label, want.Label) {
+			t.Fatalf("iteration %d: parallel CC diverged", i)
+		}
+	}
+}
+
+func TestParallelCCEmpty(t *testing.T) {
+	g := graph.Build(0, nil, false)
+	if cc := ParallelCC(g, par.Options{}); cc.Count != 0 {
+		t.Fatalf("empty graph components = %d", cc.Count)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+// worker1 is the thread-local state of one Algorithm 1 worker.
+type worker1 struct {
+	edges         []Edge
+	wedges        int64
+	pruned        int64
+	intersections int64
+	// seen de-duplicates candidate hyperedges within one outer
+	// iteration ("skipping already visited hyperedges"): seen[ej]
+	// holds the stamp of the last ei for which ej was intersected.
+	seen  []uint32
+	stamp uint32
+}
+
+// setIntersectionEdges is Algorithm 1, the prior state-of-the-art
+// (HiPC'21) baseline: every candidate pair (ei, ej) sharing at least
+// one vertex is tested by an explicit sorted-list set intersection of
+// the two hyperedges' vertex lists, with the paper's heuristics:
+// degree-based pruning, per-source candidate de-duplication,
+// short-circuited intersections, and upper-triangle traversal.
+func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
+	m := h.NumEdges()
+	w := numWorkers(cfg)
+	workers := make([]worker1, w)
+	for i := range workers {
+		workers[i].seen = make([]uint32, m)
+	}
+
+	par.For(m, cfg.parOptions(), func(worker, i int) {
+		st := &workers[worker]
+		ei := uint32(i)
+		if !cfg.DisablePruning && h.EdgeSize(ei) < s {
+			st.pruned++
+			return
+		}
+		st.stamp++
+		if st.stamp == 0 { // wrapped: clear stale stamps
+			clear(st.seen)
+			st.stamp = 1
+		}
+		eiVerts := h.EdgeVertices(ei)
+		for _, vk := range eiVerts {
+			for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
+				st.wedges++
+				if st.seen[ej] == st.stamp {
+					continue // candidate already intersected for this ei
+				}
+				st.seen[ej] = st.stamp
+				if !cfg.DisablePruning && h.EdgeSize(ej) < s {
+					continue
+				}
+				st.intersections++
+				ejVerts := h.EdgeVertices(ej)
+				if cfg.DisableShortCircuit {
+					if n := hg.IntersectSize(eiVerts, ejVerts); n >= s {
+						st.edges = append(st.edges, Edge{U: ei, V: ej, W: uint32(n)})
+					}
+				} else if hg.IntersectAtLeast(eiVerts, ejVerts, s) {
+					// Short-circuit mode confirms ≥ s without
+					// finishing the count; report the bound.
+					st.edges = append(st.edges, Edge{U: ei, V: ej, W: uint32(s)})
+				}
+			}
+		}
+	})
+
+	stats := Stats{WedgesPerWorker: make([]int64, len(workers))}
+	lists := make([][]Edge, len(workers))
+	for i := range workers {
+		lists[i] = workers[i].edges
+		stats.Wedges += workers[i].wedges
+		stats.WedgesPerWorker[i] = workers[i].wedges
+		stats.Pruned += workers[i].pruned
+		stats.SetIntersections += workers[i].intersections
+	}
+	edges := mergeWorkerEdges(lists)
+	stats.Edges = int64(len(edges))
+	return edges, stats
+}
+
+// NaiveAllPairs is the textbook "ijk" all-pairs construction used as a
+// correctness oracle: it intersects every pair of hyperedges, ignoring
+// the hypergraph structure entirely. Quadratic in |E| — only suitable
+// for tiny inputs and tests.
+func NaiveAllPairs(h *hg.Hypergraph, s int) []Edge {
+	if s < 1 {
+		s = 1
+	}
+	var edges []Edge
+	m := h.NumEdges()
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if n := h.Inc(uint32(i), uint32(j)); n >= s {
+				edges = append(edges, Edge{U: uint32(i), V: uint32(j), W: uint32(n)})
+			}
+		}
+	}
+	SortEdges(edges)
+	return edges
+}

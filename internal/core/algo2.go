@@ -1,0 +1,140 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+// SLineEdges computes the edge list of the s-line graph Ls(H): one edge
+// {ei, ej} for every pair of hyperedges with inc(ei, ej) = |ei ∩ ej| ≥ s,
+// weighted by the overlap. The algorithm, workload distribution and
+// heuristics are selected by cfg; hyperedge IDs are used as given (apply
+// hg.Preprocess or run the Pipeline for relabel-by-degree).
+//
+// s must be ≥ 1. The returned edge list is sorted by (U, V) and is
+// deterministic for a given hypergraph regardless of cfg.
+func SLineEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
+	if s < 1 {
+		s = 1
+	}
+	switch cfg.algorithm() {
+	case AlgoSetIntersection:
+		return setIntersectionEdges(h, s, cfg)
+	default:
+		return hashmapEdges(h, s, cfg)
+	}
+}
+
+func numWorkers(cfg Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// upperNeighbors returns the suffix of the sorted hyperedge list with
+// IDs strictly greater than ei: the "(i < j)" upper-triangle rule that
+// traverses each wedge (ei, vk, ej) exactly once.
+func upperNeighbors(edges []uint32, ei uint32) []uint32 {
+	lo := sort.Search(len(edges), func(k int) bool { return edges[k] > ei })
+	return edges[lo:]
+}
+
+// worker2 is the thread-local state of one Algorithm 2 worker.
+type worker2 struct {
+	edges   []Edge // Lt(H), the per-thread edge list
+	wedges  int64
+	pruned  int64
+	counts  []uint32 // TLSDense: dense overlap counters, len m
+	touched []uint32 // TLSDense: indices of non-zero counters
+}
+
+// hashmapEdges is Algorithm 2 of the paper: for each hyperedge ei the
+// overlaps with all 2-hop neighbor hyperedges ej > ei are accumulated in
+// a counter keyed by ej; pairs reaching s are emitted immediately. No
+// set intersection is ever performed.
+func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
+	m := h.NumEdges()
+	w := numWorkers(cfg)
+	workers := make([]worker2, w)
+	if cfg.Store == TLSDense {
+		// Pre-allocated thread-local storage (§III-F): one dense
+		// counter array per worker, reset via the touched list after
+		// each outer iteration.
+		for i := range workers {
+			workers[i].counts = make([]uint32, m)
+		}
+	}
+
+	par.For(m, cfg.parOptions(), func(worker, i int) {
+		st := &workers[worker]
+		ei := uint32(i)
+		if !cfg.DisablePruning && h.EdgeSize(ei) < s {
+			st.pruned++
+			return
+		}
+		if cfg.Store == TLSDense {
+			hashmapIterDense(h, ei, s, st)
+		} else {
+			hashmapIterMap(h, ei, s, st)
+		}
+	})
+
+	return collect(workers)
+}
+
+// hashmapIterMap processes one hyperedge with a per-iteration hashmap
+// (Lines 6-12 of Algorithm 2, dynamic allocation mode).
+func hashmapIterMap(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
+	overlap := make(map[uint32]uint32)
+	for _, vk := range h.EdgeVertices(ei) {
+		for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
+			st.wedges++
+			overlap[ej]++
+		}
+	}
+	for ej, n := range overlap {
+		if int(n) >= s {
+			st.edges = append(st.edges, Edge{U: ei, V: ej, W: n})
+		}
+	}
+}
+
+// hashmapIterDense processes one hyperedge with the pre-allocated
+// dense counter (TLS mode).
+func hashmapIterDense(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
+	counts, touched := st.counts, st.touched[:0]
+	for _, vk := range h.EdgeVertices(ei) {
+		for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
+			st.wedges++
+			if counts[ej] == 0 {
+				touched = append(touched, ej)
+			}
+			counts[ej]++
+		}
+	}
+	for _, ej := range touched {
+		if int(counts[ej]) >= s {
+			st.edges = append(st.edges, Edge{U: ei, V: ej, W: counts[ej]})
+		}
+		counts[ej] = 0
+	}
+	st.touched = touched
+}
+
+func collect(workers []worker2) ([]Edge, Stats) {
+	stats := Stats{WedgesPerWorker: make([]int64, len(workers))}
+	lists := make([][]Edge, len(workers))
+	for i := range workers {
+		lists[i] = workers[i].edges
+		stats.Wedges += workers[i].wedges
+		stats.WedgesPerWorker[i] = workers[i].wedges
+		stats.Pruned += workers[i].pruned
+	}
+	edges := mergeWorkerEdges(lists)
+	stats.Edges = int64(len(edges))
+	return edges, stats
+}

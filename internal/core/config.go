@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: parallel
+// algorithms for computing high-order (s ≥ 1) line graphs of non-uniform
+// hypergraphs, and the five-stage framework around them.
+//
+// Three s-overlap algorithms are provided:
+//
+//   - Algorithm 1 (SetIntersection): the prior state-of-the-art
+//     heuristic algorithm of Liu et al. (HiPC'21), which intersects the
+//     sorted neighbor lists of every candidate hyperedge pair, with
+//     degree-based pruning, candidate de-duplication, short-circuiting,
+//     and upper-triangle traversal.
+//   - Algorithm 2 (Hashmap): the paper's new algorithm, which never
+//     performs a set intersection; it accumulates overlap counts for the
+//     2-hop neighbors of each hyperedge in a per-iteration counter and
+//     filters by s on the fly.
+//   - Algorithm 3 (Ensemble): a variant of Algorithm 2 that stores all
+//     overlap counts once and then derives the s-line graph for every
+//     requested s value.
+//
+// All algorithms parallelize the outer loop over hyperedges using the
+// blocked or cyclic workload distribution of internal/par and support
+// the relabel-by-degree orderings of internal/hg, giving the twelve
+// configurations of the paper's Table III (1BA ... 2CD).
+package core
+
+import (
+	"fmt"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+// Algorithm selects the s-overlap algorithm.
+type Algorithm uint8
+
+const (
+	// AlgoSetIntersection is Algorithm 1 of the paper (the HiPC'21
+	// heuristic baseline).
+	AlgoSetIntersection Algorithm = 1
+	// AlgoHashmap is Algorithm 2 of the paper (the new hashmap-based
+	// algorithm).
+	AlgoHashmap Algorithm = 2
+)
+
+// String returns the numeral used in the paper's Table III notation.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoSetIntersection:
+		return "1"
+	case AlgoHashmap:
+		return "2"
+	default:
+		return "?"
+	}
+}
+
+// CounterStore selects how Algorithm 2 keeps its per-hyperedge overlap
+// counters (§III-F "dynamic vs pre-allocated thread-local storage").
+type CounterStore uint8
+
+const (
+	// MapPerIteration allocates a fresh hashmap for every hyperedge
+	// of the outer loop. Preferred for sparse overlap structure.
+	MapPerIteration CounterStore = iota
+	// TLSDense uses a pre-allocated per-worker dense counter array
+	// plus a touched list, reset after each iteration. Preferred for
+	// hypergraphs with dense overlapping neighborhoods (the Web
+	// dataset regime).
+	TLSDense
+)
+
+// String names the counter store.
+func (c CounterStore) String() string {
+	switch c {
+	case MapPerIteration:
+		return "map"
+	case TLSDense:
+		return "tls-dense"
+	default:
+		return "?"
+	}
+}
+
+// Config selects an algorithm and its execution strategy. The zero
+// value means Algorithm 2, blocked distribution, no relabeling, default
+// grain, GOMAXPROCS workers, per-iteration maps — a sensible default.
+type Config struct {
+	// Algorithm is AlgoSetIntersection or AlgoHashmap (default
+	// AlgoHashmap).
+	Algorithm Algorithm
+	// Partition is the workload distribution strategy (Blocked or
+	// Cyclic; Table III "B"/"C").
+	Partition par.Strategy
+	// Relabel is the Stage-1 relabel-by-degree order (Table III
+	// "A"/"D"/"N"). It is applied by the Pipeline; the raw algorithm
+	// entry points honor the hyperedge IDs they are given.
+	Relabel hg.RelabelOrder
+	// Workers is the worker count (0 = GOMAXPROCS).
+	Workers int
+	// Grain is the blocked-chunk size (0 = par.DefaultGrain).
+	Grain int
+	// Store selects Algorithm 2's counter storage.
+	Store CounterStore
+	// DisablePruning turns off degree-based pruning (hyperedges of
+	// size < s can never be s-incident and are skipped by default).
+	DisablePruning bool
+	// DisableShortCircuit makes Algorithm 1 compute exact overlap
+	// counts instead of aborting each set intersection as soon as the
+	// ≥ s outcome is decided. Exact counts populate Edge.W.
+	DisableShortCircuit bool
+}
+
+func (c Config) algorithm() Algorithm {
+	if c.Algorithm == 0 {
+		return AlgoHashmap
+	}
+	return c.Algorithm
+}
+
+func (c Config) parOptions() par.Options {
+	return par.Options{Workers: c.Workers, Grain: c.Grain, Strategy: c.Partition}
+}
+
+// Notation returns the paper's Table III shorthand for this
+// configuration, e.g. "2BA" for Algorithm 2, blocked distribution,
+// relabel ascending.
+func (c Config) Notation() string {
+	return c.algorithm().String() + c.Partition.String() + c.Relabel.String()
+}
+
+// ParseNotation parses a Table III shorthand such as "1CN" or "2BA".
+func ParseNotation(s string) (Config, error) {
+	var c Config
+	if len(s) != 3 {
+		return c, fmt.Errorf("core: notation %q must have 3 characters", s)
+	}
+	switch s[0] {
+	case '1':
+		c.Algorithm = AlgoSetIntersection
+	case '2':
+		c.Algorithm = AlgoHashmap
+	default:
+		return c, fmt.Errorf("core: unknown algorithm %q", s[0])
+	}
+	switch s[1] {
+	case 'B':
+		c.Partition = par.Blocked
+	case 'C':
+		c.Partition = par.Cyclic
+	default:
+		return c, fmt.Errorf("core: unknown partition %q", s[1])
+	}
+	switch s[2] {
+	case 'A':
+		c.Relabel = hg.RelabelAscending
+	case 'D':
+		c.Relabel = hg.RelabelDescending
+	case 'N':
+		c.Relabel = hg.RelabelNone
+	default:
+		return c, fmt.Errorf("core: unknown relabel order %q", s[2])
+	}
+	return c, nil
+}
+
+// AllNotations lists the twelve configurations of Table III in the
+// order of the paper's Figure 7 x-axis.
+func AllNotations() []string {
+	return []string{
+		"1BD", "1CD", "1BA", "1CA", "1BN", "1CN",
+		"2BN", "2CN", "2BA", "2CA", "2BD", "2CD",
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/algo"
+	"hyperline/internal/graph"
+)
+
+// directOracle computes s-CC labels via the materializing pipeline.
+func directOracle(h interface {
+	NumEdges() int
+}, s int, edges []Edge) []uint32 {
+	g := graph.Build(h.NumEdges(), edges, false)
+	cc := algo.ConnectedComponents(g)
+	return cc.Label
+}
+
+func TestDirectCCExample(t *testing.T) {
+	h := paperExample()
+	// s=3: hyperedges {0,1,2} connected through 2; 3 singleton.
+	label := SConnectedComponentsDirect(h, 3)
+	if label[0] != 0 || label[1] != 0 || label[2] != 0 || label[3] != 3 {
+		t.Fatalf("labels = %v", label)
+	}
+	// s=1: all connected.
+	label1 := SConnectedComponentsDirect(h, 1)
+	for e, l := range label1 {
+		if l != 0 {
+			t.Fatalf("s=1 label[%d] = %d, want 0", e, l)
+		}
+	}
+}
+
+// TestDirectCCMatchesPipeline: the direct traversal must produce the
+// same partition as materialize-then-CC, restricted to hyperedges of
+// size >= s (smaller ones are singletons in both).
+func TestDirectCCMatchesPipeline(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(r, 25, 35, 7)
+		s := 1 + int(sRaw%4)
+		direct := SConnectedComponentsDirect(h, s)
+		edges, _ := SLineEdges(h, s, Config{})
+		want := directOracle(h, s, edges)
+		for e := 0; e < h.NumEdges(); e++ {
+			if direct[e] != want[e] {
+				t.Logf("s=%d edge %d: direct %d, pipeline %d", s, e, direct[e], want[e])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectCCSmallEdgesSingleton(t *testing.T) {
+	h := paperExample()
+	// s=4: only hyperedge 2 (size 5) qualifies; everything is a
+	// singleton.
+	label := SConnectedComponentsDirect(h, 4)
+	for e, l := range label {
+		if l != uint32(e) {
+			t.Fatalf("label[%d] = %d, want singleton", e, l)
+		}
+	}
+}

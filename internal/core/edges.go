@@ -1,0 +1,45 @@
+package core
+
+import (
+	"sort"
+
+	"hyperline/internal/graph"
+)
+
+// Edge is one s-line graph edge: hyperedges U < V are s-incident with
+// overlap weight W = inc(U, V) ≥ s. When Algorithm 1 runs with
+// short-circuiting enabled (the default), W is the count confirmed
+// before the intersection was cut off — guaranteed ≥ s but possibly
+// below the exact overlap; every other algorithm reports exact
+// overlaps.
+//
+// Edge is an alias of graph.Edge so s-overlap output feeds directly
+// into graph.Build (Stage 4).
+type Edge = graph.Edge
+
+// SortEdges orders edges by (U, V), which canonicalizes the
+// nondeterministic concatenation order of per-worker edge lists. U < V
+// holds for every emitted edge, so (U, V) is a unique key.
+func SortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
+// mergeWorkerEdges concatenates per-worker edge lists (the union step,
+// Line 13 of Algorithm 2) and sorts the result.
+func mergeWorkerEdges(lists [][]Edge) []Edge {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Edge, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	SortEdges(out)
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+// EnsembleEdges is Algorithm 3 of the paper: it computes the edge lists
+// of an ensemble of s-line graphs Ls(H) for every s in sValues with a
+// single counting pass. The counting step of Algorithm 2 is decoupled
+// from edge emission: all per-hyperedge overlap counters are
+// materialized first (keyed by the 2-hop neighbor ej > ei), then each
+// requested s filters the stored counts in parallel.
+//
+// As the paper notes (§VI-C), storing every overlap counter is
+// memory-intensive — O(total 2-hop neighborhood size) — which is why the
+// original implementation fails on large datasets. Degree-based pruning
+// uses the smallest requested s.
+//
+// The result maps each s to its sorted edge list. Duplicate s values
+// are computed once.
+func EnsembleEdges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+	stats := Stats{WedgesPerWorker: make([]int64, numWorkers(cfg))}
+	result := make(map[int][]Edge, len(sValues))
+	if len(sValues) == 0 {
+		return result, stats
+	}
+	sMin := sValues[0]
+	for _, s := range sValues {
+		if s < sMin {
+			sMin = s
+		}
+	}
+	if sMin < 1 {
+		sMin = 1
+	}
+
+	m := h.NumEdges()
+	w := numWorkers(cfg)
+
+	// Counting pass (Lines 3-9 of Algorithm 3): overlap[ei] holds the
+	// counter map of hyperedge ei. Workers write disjoint slots, so no
+	// synchronization is needed.
+	overlap := make([]map[uint32]uint32, m)
+	wedgeStats := par.NewWorkerStats(w)
+	pruned := par.NewWorkerStats(w)
+	par.For(m, cfg.parOptions(), func(worker, i int) {
+		ei := uint32(i)
+		if !cfg.DisablePruning && h.EdgeSize(ei) < sMin {
+			pruned.Add(worker, 1)
+			return
+		}
+		counts := make(map[uint32]uint32)
+		for _, vk := range h.EdgeVertices(ei) {
+			for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
+				wedgeStats.Add(worker, 1)
+				counts[ej]++
+			}
+		}
+		if len(counts) > 0 {
+			overlap[ei] = counts
+		}
+	})
+	stats.Wedges = wedgeStats.Total()
+	stats.WedgesPerWorker = wedgeStats.PerWorker()
+	stats.Pruned = pruned.Total()
+
+	// Filtering pass (Lines 10-15): one filter per distinct s value,
+	// all s values in parallel.
+	distinct := make([]int, 0, len(sValues))
+	seen := map[int]bool{}
+	for _, s := range sValues {
+		if s < 1 {
+			s = 1
+		}
+		if !seen[s] {
+			seen[s] = true
+			distinct = append(distinct, s)
+		}
+	}
+	lists := make([][]Edge, len(distinct))
+	par.For(len(distinct), par.Options{Workers: cfg.Workers}, func(_, k int) {
+		s := distinct[k]
+		var edges []Edge
+		for i := 0; i < m; i++ {
+			for ej, n := range overlap[i] {
+				if int(n) >= s {
+					edges = append(edges, Edge{U: uint32(i), V: ej, W: n})
+				}
+			}
+		}
+		SortEdges(edges)
+		lists[k] = edges
+	})
+	for k, s := range distinct {
+		result[s] = lists[k]
+		stats.Edges += int64(len(lists[k]))
+	}
+	return result, stats
+}

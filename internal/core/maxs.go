@@ -1,0 +1,57 @@
+package core
+
+import (
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+// MaxOverlap returns the maximum pairwise overlap max_{e≠f} inc(e, f)
+// of the hypergraph — the largest s for which the s-line graph Ls(H)
+// is non-empty (the paper's "max s that produces non-singleton
+// components", e.g. 16 for the condMat network). Returns 0 when no two
+// hyperedges intersect.
+//
+// The scan reuses Algorithm 2's counting pass with per-worker dense
+// counters but emits nothing, so it is cheaper than materializing the
+// 1-line graph.
+func MaxOverlap(h *hg.Hypergraph, cfg Config) int {
+	m := h.NumEdges()
+	w := numWorkers(cfg)
+	maxPer := make([]uint32, w)
+	counts := make([][]uint32, w)
+	touched := make([][]uint32, w)
+
+	par.For(m, cfg.parOptions(), func(worker, i int) {
+		if counts[worker] == nil {
+			counts[worker] = make([]uint32, m)
+		}
+		c := counts[worker]
+		t := touched[worker][:0]
+		ei := uint32(i)
+		for _, vk := range h.EdgeVertices(ei) {
+			for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
+				if c[ej] == 0 {
+					t = append(t, ej)
+				}
+				c[ej]++
+			}
+		}
+		best := maxPer[worker]
+		for _, ej := range t {
+			if c[ej] > best {
+				best = c[ej]
+			}
+			c[ej] = 0
+		}
+		maxPer[worker] = best
+		touched[worker] = t
+	})
+
+	best := uint32(0)
+	for _, b := range maxPer {
+		if b > best {
+			best = b
+		}
+	}
+	return int(best)
+}

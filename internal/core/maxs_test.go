@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+func TestMaxOverlapExample(t *testing.T) {
+	h := paperExample()
+	// Largest pairwise overlap is inc(e1,e3) = inc(e2,e3) = 3.
+	if got := MaxOverlap(h, Config{}); got != 3 {
+		t.Fatalf("MaxOverlap = %d, want 3", got)
+	}
+}
+
+func TestMaxOverlapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(r, 25, 30, 7)
+		want := 0
+		for i := 0; i < h.NumEdges(); i++ {
+			for j := i + 1; j < h.NumEdges(); j++ {
+				if n := h.Inc(uint32(i), uint32(j)); n > want {
+					want = n
+				}
+			}
+		}
+		for _, cfg := range []Config{
+			{},
+			{Workers: 3, Partition: par.Cyclic},
+			{Workers: 7, Grain: 2},
+		} {
+			if MaxOverlap(h, cfg) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxOverlapDisjoint(t *testing.T) {
+	h := hg.FromEdgeSlices([][]uint32{{0, 1}, {2, 3}, {4, 5}}, 6)
+	if got := MaxOverlap(h, Config{}); got != 0 {
+		t.Fatalf("MaxOverlap = %d, want 0 for disjoint edges", got)
+	}
+}

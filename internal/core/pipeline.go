@@ -1,0 +1,152 @@
+package core
+
+import (
+	"time"
+
+	"hyperline/internal/graph"
+	"hyperline/internal/hg"
+	"hyperline/internal/toplex"
+)
+
+// PipelineConfig configures an end-to-end run of the paper's five-stage
+// s-line graph framework (§IV).
+type PipelineConfig struct {
+	// Core selects the s-overlap algorithm and execution strategy;
+	// Core.Relabel drives Stage 1's relabel-by-degree.
+	Core Config
+	// Toplex enables Stage 2: simplify the hypergraph to its
+	// toplexes before computing s-overlaps.
+	Toplex bool
+	// NoSqueeze disables Stage 4's ID squeezing, keeping the (often
+	// hypersparse) hyperedge ID space as graph node IDs.
+	NoSqueeze bool
+}
+
+// StageTimings records wall-clock time per pipeline stage — the rows of
+// the paper's Table I.
+type StageTimings struct {
+	Preprocess time.Duration // Stage 1: cleanup + relabel-by-degree
+	Toplex     time.Duration // Stage 2 (optional)
+	SOverlap   time.Duration // Stage 3: the s-line edge list (dominant)
+	Squeeze    time.Duration // Stage 4: ID squeezing + graph build
+}
+
+// Total sums all stages.
+func (t StageTimings) Total() time.Duration {
+	return t.Preprocess + t.Toplex + t.SOverlap + t.Squeeze
+}
+
+// PipelineResult is the output of a pipeline run: the s-line graph with
+// node IDs mapped back to the input hypergraph's hyperedge IDs, plus
+// work statistics and per-stage timings.
+type PipelineResult struct {
+	S     int
+	Graph *graph.Graph
+	// HyperedgeIDs maps each graph node to the hyperedge ID in the
+	// *input* hypergraph (undoing squeezing, toplex selection, and
+	// relabeling).
+	HyperedgeIDs []uint32
+	Stats        Stats
+	Timings      StageTimings
+}
+
+// HyperedgeID returns the input-hypergraph hyperedge represented by a
+// graph node.
+func (r *PipelineResult) HyperedgeID(node uint32) uint32 {
+	return r.HyperedgeIDs[node]
+}
+
+// Run executes Stages 1-4 of the framework on h for the given s:
+// preprocessing (with relabel-by-degree), optional toplex
+// simplification, the s-overlap computation, and ID squeezing / graph
+// construction. Stage 5 (s-measure computation) is performed by the
+// caller on the returned graph — any standard graph algorithm applies.
+func Run(h *hg.Hypergraph, s int, cfg PipelineConfig) *PipelineResult {
+	res := &PipelineResult{S: s}
+
+	t0 := time.Now()
+	pre := hg.Preprocess(h, cfg.Core.Relabel)
+	res.Timings.Preprocess = time.Since(t0)
+	work := pre.H
+	edgeOrig := pre.EdgeOrig
+
+	if cfg.Toplex {
+		t1 := time.Now()
+		simplified, keep := toplex.Simplify(work)
+		res.Timings.Toplex = time.Since(t1)
+		work = simplified
+		remapped := make([]uint32, len(keep))
+		for newE, midE := range keep {
+			remapped[newE] = edgeOrig[midE]
+		}
+		edgeOrig = remapped
+	}
+
+	t2 := time.Now()
+	edges, stats := SLineEdges(work, s, cfg.Core)
+	res.Timings.SOverlap = time.Since(t2)
+	res.Stats = stats
+
+	t3 := time.Now()
+	g := graph.Build(work.NumEdges(), edges, !cfg.NoSqueeze)
+	res.Timings.Squeeze = time.Since(t3)
+	res.Graph = g
+
+	res.HyperedgeIDs = make([]uint32, g.NumNodes())
+	for node := 0; node < g.NumNodes(); node++ {
+		res.HyperedgeIDs[node] = edgeOrig[g.OrigID(uint32(node))]
+	}
+	return res
+}
+
+// RunEnsemble executes the pipeline with Algorithm 3, producing one
+// result per distinct s value. Stage timings on each result share the
+// pipeline-wide preprocessing/overlap costs; squeeze time is per s.
+func RunEnsemble(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*PipelineResult {
+	t0 := time.Now()
+	pre := hg.Preprocess(h, cfg.Core.Relabel)
+	preTime := time.Since(t0)
+	work := pre.H
+	edgeOrig := pre.EdgeOrig
+
+	var topTime time.Duration
+	if cfg.Toplex {
+		t1 := time.Now()
+		simplified, keep := toplex.Simplify(work)
+		topTime = time.Since(t1)
+		work = simplified
+		remapped := make([]uint32, len(keep))
+		for newE, midE := range keep {
+			remapped[newE] = edgeOrig[midE]
+		}
+		edgeOrig = remapped
+	}
+
+	t2 := time.Now()
+	lists, stats := EnsembleEdges(work, sValues, cfg.Core)
+	overlapTime := time.Since(t2)
+
+	out := make(map[int]*PipelineResult, len(lists))
+	for s, edges := range lists {
+		t3 := time.Now()
+		g := graph.Build(work.NumEdges(), edges, !cfg.NoSqueeze)
+		squeeze := time.Since(t3)
+		r := &PipelineResult{
+			S:     s,
+			Graph: g,
+			Stats: stats,
+			Timings: StageTimings{
+				Preprocess: preTime,
+				Toplex:     topTime,
+				SOverlap:   overlapTime,
+				Squeeze:    squeeze,
+			},
+		}
+		r.HyperedgeIDs = make([]uint32, g.NumNodes())
+		for node := 0; node < g.NumNodes(); node++ {
+			r.HyperedgeIDs[node] = edgeOrig[g.OrigID(uint32(node))]
+		}
+		out[s] = r
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/hg"
+)
+
+// pipelinePairs extracts the s-line edge set of a pipeline result in
+// terms of the input hypergraph's original hyperedge IDs.
+func pipelinePairs(res *PipelineResult) map[[2]uint32]bool {
+	out := map[[2]uint32]bool{}
+	for _, e := range res.Graph.Edges() {
+		u := res.HyperedgeID(e.U)
+		v := res.HyperedgeID(e.V)
+		if u > v {
+			u, v = v, u
+		}
+		out[[2]uint32{u, v}] = true
+	}
+	return out
+}
+
+func naivePairs(h *hg.Hypergraph, s int) map[[2]uint32]bool {
+	out := map[[2]uint32]bool{}
+	for _, e := range NaiveAllPairs(h, s) {
+		out[[2]uint32{e.U, e.V}] = true
+	}
+	return out
+}
+
+// TestPipelineRelabelInvariance: every Table III configuration produces
+// the same s-line graph once node IDs are mapped back to input
+// hyperedge IDs.
+func TestPipelineRelabelInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	h := randomHypergraph(r, 50, 70, 8)
+	const s = 2
+	want := naivePairs(h, s)
+	for _, notation := range AllNotations() {
+		cfg, err := ParseNotation(notation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.DisableShortCircuit = true
+		res := Run(h, s, PipelineConfig{Core: cfg})
+		if got := pipelinePairs(res); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: pipeline result differs from oracle (got %d pairs, want %d)",
+				notation, len(got), len(want))
+		}
+	}
+}
+
+func TestPipelineSqueeze(t *testing.T) {
+	h := paperExample()
+	res := Run(h, 3, PipelineConfig{})
+	// s=3 line graph has edges {1,3} and {2,3} → 3 non-isolated nodes.
+	if res.Graph.NumNodes() != 3 {
+		t.Fatalf("squeezed nodes = %d, want 3", res.Graph.NumNodes())
+	}
+	if !res.Graph.Squeezed() {
+		t.Fatal("expected squeezed graph")
+	}
+	ids := map[uint32]bool{}
+	for n := 0; n < res.Graph.NumNodes(); n++ {
+		ids[res.HyperedgeID(uint32(n))] = true
+	}
+	if !ids[0] || !ids[1] || !ids[2] || ids[3] {
+		t.Fatalf("squeezed node identities wrong: %v", ids)
+	}
+}
+
+func TestPipelineNoSqueeze(t *testing.T) {
+	h := paperExample()
+	res := Run(h, 3, PipelineConfig{NoSqueeze: true})
+	if res.Graph.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 (unsqueezed)", res.Graph.NumNodes())
+	}
+	if res.Graph.Squeezed() {
+		t.Fatal("unexpected squeeze")
+	}
+}
+
+func TestPipelineToplexStage(t *testing.T) {
+	// Edge 1 {a,b,c} and edge 2 {b,c,d} are subsets of edge 3
+	// {a,b,c,d,e}; only toplexes {3, 4} survive simplification, so the
+	// 1-line graph of the simplified hypergraph has one edge (3-4).
+	h := paperExample()
+	res := Run(h, 1, PipelineConfig{Toplex: true})
+	if res.Graph.NumEdges() != 1 {
+		t.Fatalf("toplex 1-line graph edges = %d, want 1", res.Graph.NumEdges())
+	}
+	pairs := pipelinePairs(res)
+	if !pairs[[2]uint32{2, 3}] {
+		t.Fatalf("expected edge between original hyperedges 2 and 3, got %v", pairs)
+	}
+	if res.Timings.Toplex <= 0 {
+		t.Fatal("toplex stage not timed")
+	}
+}
+
+func TestPipelineTimingsPopulated(t *testing.T) {
+	h := paperExample()
+	res := Run(h, 2, PipelineConfig{})
+	if res.Timings.Total() <= 0 {
+		t.Fatal("timings not recorded")
+	}
+	if res.Timings.SOverlap <= 0 || res.Timings.Preprocess <= 0 {
+		t.Fatalf("stage timings missing: %+v", res.Timings)
+	}
+}
+
+func TestRunEnsembleMatchesRun(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	h := randomHypergraph(r, 40, 50, 7)
+	sValues := []int{1, 2, 3}
+	ens := RunEnsemble(h, sValues, PipelineConfig{})
+	if len(ens) != 3 {
+		t.Fatalf("ensemble results = %d, want 3", len(ens))
+	}
+	for _, s := range sValues {
+		single := Run(h, s, PipelineConfig{})
+		if !reflect.DeepEqual(pipelinePairs(ens[s]), pipelinePairs(single)) {
+			t.Fatalf("s=%d: ensemble pipeline differs from single pipeline", s)
+		}
+	}
+}
+
+func TestRunEnsembleWithRelabel(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	h := randomHypergraph(r, 40, 50, 7)
+	cfg := PipelineConfig{Core: Config{Relabel: hg.RelabelAscending}}
+	ens := RunEnsemble(h, []int{2}, cfg)
+	want := naivePairs(h, 2)
+	if got := pipelinePairs(ens[2]); !reflect.DeepEqual(got, want) {
+		t.Fatal("relabeled ensemble pipeline differs from oracle")
+	}
+}
+
+// TestPipelineProperty cross-validates the full pipeline (relabeling +
+// squeezing + mapping back) against the naive oracle on random inputs.
+func TestPipelineProperty(t *testing.T) {
+	f := func(seed int64, sRaw, mode uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(r, 25, 30, 6)
+		s := 1 + int(sRaw%4)
+		cfg := PipelineConfig{}
+		switch mode % 3 {
+		case 1:
+			cfg.Core.Relabel = hg.RelabelAscending
+		case 2:
+			cfg.Core.Relabel = hg.RelabelDescending
+		}
+		res := Run(h, s, cfg)
+		return reflect.DeepEqual(pipelinePairs(res), naivePairs(h, s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineWeightsExact verifies the overlap weights survive the
+// pipeline: the graph edge weight equals inc(ei, ej) in the input.
+func TestPipelineWeightsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	h := randomHypergraph(r, 30, 40, 8)
+	res := Run(h, 2, PipelineConfig{Core: Config{Relabel: hg.RelabelDescending}})
+	for _, e := range res.Graph.Edges() {
+		u, v := res.HyperedgeID(e.U), res.HyperedgeID(e.V)
+		if want := h.Inc(u, v); int(e.W) != want {
+			t.Fatalf("edge (%d,%d) weight %d, want %d", u, v, e.W, want)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+// Package gen provides deterministic synthetic hypergraph generators
+// that stand in for the paper's evaluation datasets (Table IV and the
+// application datasets of §V). Real datasets such as LiveJournal,
+// Friendster, activeDNS, the condMat author-paper network, the disGeNet
+// disease-gene network, the virology transcriptomics data, and IMDB are
+// not redistributable here, so each generator reproduces the structural
+// features that drive the paper's algorithms: skewed hyperedge-size
+// distributions, overlapping community structure (which produces
+// non-trivial s-overlaps), hub vertices, and planted high-overlap cores.
+//
+// Every generator is a pure function of its configuration, including the
+// Seed, so experiments are reproducible run to run.
+package gen
+
+import (
+	"math/rand"
+
+	"hyperline/internal/hg"
+)
+
+// ZipfConfig parameterizes the generic skewed bipartite generator.
+type ZipfConfig struct {
+	Seed        int64
+	NumVertices int
+	NumEdges    int
+	// MeanEdgeSize is the expected hyperedge size; actual sizes are
+	// geometric-like around the mean with a Zipf heavy tail.
+	MeanEdgeSize int
+	// Skew is the Zipf exponent (>1) for vertex popularity; larger
+	// values concentrate mass on a few hub vertices. Values near
+	// 1.05 are mild.
+	Skew float64
+	// SizeSkew is the Zipf exponent for the hyperedge-size tail
+	// (default: Skew). Decoupling the two lets a dataset have a few
+	// huge hyperedges over near-uniform vertex popularity (the Web
+	// regime) or vice versa.
+	SizeSkew float64
+	// MaxEdgeSize caps hyperedge sizes (0 = NumVertices).
+	MaxEdgeSize int
+	// HeadFlatten is the Zipf "v" offset applied to vertex
+	// popularity: P(k) ∝ 1/(v+k)^Skew. Larger values spread the head
+	// mass over more hub vertices instead of concentrating it on one
+	// (real web/social datasets have many hubs, not a single
+	// super-hub). Default 4.
+	HeadFlatten float64
+}
+
+// Zipf generates a bipartite hypergraph with Zipf-distributed vertex
+// popularity and heavy-tailed hyperedge sizes. This is the stand-in for
+// Web, email-EuAll, Amazon-reviews and Stackoverflow-answers: datasets
+// whose only structural feature relevant to the algorithms is degree
+// skew.
+func Zipf(cfg ZipfConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Skew <= 1 {
+		cfg.Skew = 1.1
+	}
+	if cfg.MeanEdgeSize < 1 {
+		cfg.MeanEdgeSize = 4
+	}
+	maxSize := cfg.MaxEdgeSize
+	if maxSize <= 0 || maxSize > cfg.NumVertices {
+		maxSize = cfg.NumVertices
+	}
+	if cfg.HeadFlatten < 1 {
+		cfg.HeadFlatten = 4
+	}
+	if cfg.SizeSkew <= 1 {
+		cfg.SizeSkew = cfg.Skew
+	}
+	vz := rand.NewZipf(r, cfg.Skew, cfg.HeadFlatten, uint64(cfg.NumVertices-1))
+	sz := rand.NewZipf(r, cfg.SizeSkew, float64(cfg.MeanEdgeSize), uint64(maxSize-1))
+
+	b := hg.NewBuilder(cfg.NumEdges * cfg.MeanEdgeSize)
+	for e := 0; e < cfg.NumEdges; e++ {
+		size := int(sz.Uint64()) + 1
+		if size > maxSize {
+			size = maxSize
+		}
+		for k := 0; k < size; k++ {
+			b.AddPair(uint32(e), uint32(vz.Uint64()))
+		}
+	}
+	h, err := b.BuildWithSize(cfg.NumEdges, cfg.NumVertices)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// CommunityConfig parameterizes the planted-community generator.
+type CommunityConfig struct {
+	Seed           int64
+	NumVertices    int
+	NumCommunities int
+	// MeanCommunitySize is the expected size of a community's vertex
+	// pool; actual sizes are heavy-tailed (Zipf) to mimic the skewed
+	// hyperedge-size distributions of social hypergraphs.
+	MeanCommunitySize int
+	// MaxCommunitySize caps the pool size (0 = no cap).
+	MaxCommunitySize int
+	// EdgesPerCommunity is the number of hyperedges sampled from each
+	// community pool. Hyperedges from the same pool intersect in many
+	// vertices, producing the s-overlap structure that makes s-line
+	// graphs non-trivial for s ≫ 1.
+	EdgesPerCommunity int
+	// SampleFraction is the fraction of a community pool included in
+	// each sampled hyperedge (0 < f ≤ 1; default 0.8).
+	SampleFraction float64
+	// Background adds this many uniformly random small hyperedges of
+	// size 2-4 as noise.
+	Background int
+	// Bridge is the probability that a community pool member is drawn
+	// uniformly from all vertices instead of near the community
+	// anchor (default 0.1). Higher values create more low-overlap
+	// pairs between large hyperedges — the regime where explicit set
+	// intersections are most wasteful.
+	Bridge float64
+}
+
+// Community generates a hypergraph of overlapping planted communities.
+// It is the stand-in for the social-network datasets (LiveJournal,
+// com-Orkut, Friendster), which the paper materializes by community
+// detection: each community is a hyperedge and overlapping communities
+// share members.
+func Community(cfg CommunityConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		cfg.SampleFraction = 0.8
+	}
+	if cfg.EdgesPerCommunity < 1 {
+		cfg.EdgesPerCommunity = 3
+	}
+	if cfg.MeanCommunitySize < 2 {
+		cfg.MeanCommunitySize = 8
+	}
+	maxPool := cfg.MaxCommunitySize
+	if maxPool <= 0 || maxPool > cfg.NumVertices {
+		maxPool = cfg.NumVertices
+	}
+	poolZ := rand.NewZipf(r, 1.3, float64(cfg.MeanCommunitySize), uint64(maxPool-2))
+
+	b := hg.NewBuilder(0)
+	e := uint32(0)
+	for c := 0; c < cfg.NumCommunities; c++ {
+		poolSize := int(poolZ.Uint64()) + 2
+		// Community pools are localized: draw members around a random
+		// anchor so distinct communities overlap only occasionally.
+		anchor := r.Intn(cfg.NumVertices)
+		pool := make([]uint32, 0, poolSize)
+		seen := map[uint32]bool{}
+		for len(pool) < poolSize {
+			// Mostly near the anchor, sometimes anywhere (bridges).
+			bridge := cfg.Bridge
+			if bridge <= 0 {
+				bridge = 0.1
+			}
+			var v int
+			if r.Float64() >= bridge {
+				v = anchor + r.Intn(4*poolSize+1) - 2*poolSize
+				v = ((v % cfg.NumVertices) + cfg.NumVertices) % cfg.NumVertices
+			} else {
+				v = r.Intn(cfg.NumVertices)
+			}
+			if !seen[uint32(v)] {
+				seen[uint32(v)] = true
+				pool = append(pool, uint32(v))
+			}
+		}
+		for k := 0; k < cfg.EdgesPerCommunity; k++ {
+			take := int(cfg.SampleFraction * float64(poolSize))
+			if take < 2 {
+				take = 2
+			}
+			r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+			b.AddEdge(e, pool[:take]...)
+			e++
+		}
+	}
+	for k := 0; k < cfg.Background; k++ {
+		size := 2 + r.Intn(3)
+		for j := 0; j < size; j++ {
+			b.AddPair(e, uint32(r.Intn(cfg.NumVertices)))
+		}
+		e++
+	}
+	h, err := b.BuildWithSize(int(e), cfg.NumVertices)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// DNSConfig parameterizes the activeDNS-like generator.
+type DNSConfig struct {
+	Seed int64
+	// Files scales the dataset the way the paper's weak-scaling
+	// experiment scales AVRO file counts (dns_4 ... dns_128): domains
+	// and IPs grow linearly in Files.
+	Files          int
+	DomainsPerFile int // hyperedges (domains) per file
+	IPsPerFile     int // vertices (IPs) per file
+	// WideEvery plants one CDN-like wide domain (hundreds of IPs, the
+	// source of activeDNS's ∆e ≈ 1.3k) per this many ordinary
+	// domains. 0 = 1000; negative disables wide domains.
+	WideEvery int
+}
+
+// DNSLike generates an activeDNS-style hypergraph: very many tiny
+// hyperedges (domains mapping to 1-3 IPs) over a vertex set with a few
+// enormous shared-hosting IPs (∆v ≫ average), plus sparse CDN-like wide
+// domains. Domains resolve mostly to IPs observed in the same file
+// (observations are temporally local), so doubling Files doubles the
+// work — the property the weak-scaling experiment (Fig. 9) relies on.
+func DNSLike(cfg DNSConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Files < 1 {
+		cfg.Files = 1
+	}
+	if cfg.DomainsPerFile < 1 {
+		cfg.DomainsPerFile = 10000
+	}
+	if cfg.IPsPerFile < 1 {
+		cfg.IPsPerFile = 1000
+	}
+	if cfg.WideEvery == 0 {
+		cfg.WideEvery = 1000
+	}
+	m := cfg.Files * cfg.DomainsPerFile
+	n := cfg.Files * cfg.IPsPerFile
+	localZ := rand.NewZipf(r, 1.2, 1, uint64(cfg.IPsPerFile-1))
+	b := hg.NewBuilder(2 * m)
+	ip := func(file int) uint32 {
+		// 90% of resolutions land in the file's own IP block.
+		if r.Float64() < 0.9 {
+			return uint32(file*cfg.IPsPerFile + int(localZ.Uint64()))
+		}
+		return uint32(r.Intn(n))
+	}
+	for e := 0; e < m; e++ {
+		file := e / cfg.DomainsPerFile
+		size := 1 + r.Intn(3)
+		if cfg.WideEvery > 0 && e%cfg.WideEvery == 0 {
+			// CDN-like wide domain over the file's hot IPs; pairs of
+			// wide domains in one file overlap in many IPs.
+			size = cfg.IPsPerFile/8 + r.Intn(cfg.IPsPerFile/4)
+		}
+		for k := 0; k < size; k++ {
+			b.AddPair(uint32(e), ip(file))
+		}
+	}
+	h, err := b.BuildWithSize(m, n)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AuthorPaperConfig parameterizes the collaboration-network generator.
+type AuthorPaperConfig struct {
+	Seed        int64
+	NumAuthors  int
+	NumClusters int
+	// ClusterSize is the typical number of authors in a collaboration
+	// cluster; actual sizes are heavy-tailed between ClusterSize and
+	// MaxClusterSize, so a few large collaborations exist (these are
+	// what keep Ls(H) non-empty at high s).
+	ClusterSize int
+	// MaxClusterSize caps cluster sizes (0 = ClusterSize, i.e. all
+	// clusters the same size).
+	MaxClusterSize int
+	// PapersPerCluster is how many papers each cluster co-authors;
+	// repeat collaborations are what make Ls(H) non-empty for large
+	// s. A handful of "prolific" clusters publish 2× as many.
+	PapersPerCluster int
+	// SoloPapers adds single- or two-author papers as background.
+	SoloPapers int
+}
+
+// AuthorPaper generates a condMat-style author-paper hypergraph:
+// vertices are authors, hyperedges are papers (the paper's §V-B
+// orientation is the reverse — there hyperedges are papers over author
+// vertices — which is what we build). Collaboration clusters publish
+// repeatedly together, so pairs of papers from one cluster share up to
+// ClusterSize authors and pairs of authors share up to PapersPerCluster
+// papers.
+func AuthorPaper(cfg AuthorPaperConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.ClusterSize < 2 {
+		cfg.ClusterSize = 4
+	}
+	if cfg.PapersPerCluster < 1 {
+		cfg.PapersPerCluster = 4
+	}
+	maxCS := cfg.MaxClusterSize
+	if maxCS < cfg.ClusterSize {
+		maxCS = cfg.ClusterSize
+	}
+	var sizeZ *rand.Zipf
+	if maxCS > cfg.ClusterSize {
+		sizeZ = rand.NewZipf(r, 1.5, float64(cfg.ClusterSize), uint64(maxCS-cfg.ClusterSize))
+	}
+	b := hg.NewBuilder(0)
+	e := uint32(0)
+	for c := 0; c < cfg.NumClusters; c++ {
+		size := cfg.ClusterSize
+		if sizeZ != nil {
+			size += int(sizeZ.Uint64())
+		}
+		// Cluster members: contiguous block plus a couple of random
+		// outside collaborators so clusters interlink.
+		base := r.Intn(cfg.NumAuthors)
+		members := make([]uint32, 0, size+2)
+		for k := 0; k < size; k++ {
+			members = append(members, uint32((base+k)%cfg.NumAuthors))
+		}
+		members = append(members, uint32(r.Intn(cfg.NumAuthors)), uint32(r.Intn(cfg.NumAuthors)))
+		papers := cfg.PapersPerCluster
+		if c%7 == 0 {
+			papers *= 2 // prolific clusters: deep repeat collaboration
+		}
+		for p := 0; p < papers; p++ {
+			// Each paper includes the cluster core and a random
+			// subset of the extras.
+			paper := members[:size]
+			b.AddEdge(e, paper...)
+			for _, x := range members[size:] {
+				if r.Float64() < 0.5 {
+					b.AddPair(e, x)
+				}
+			}
+			e++
+		}
+	}
+	for k := 0; k < cfg.SoloPapers; k++ {
+		b.AddPair(e, uint32(r.Intn(cfg.NumAuthors)))
+		if r.Float64() < 0.5 {
+			b.AddPair(e, uint32(r.Intn(cfg.NumAuthors)))
+		}
+		e++
+	}
+	h, err := b.BuildWithSize(int(e), cfg.NumAuthors)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// GeneConditionConfig parameterizes the transcriptomics generator of
+// §V-A (Fig. 5).
+type GeneConditionConfig struct {
+	Seed int64
+	// NumConditions is the number of experimental conditions
+	// (vertices); the paper's virology data has 201.
+	NumConditions int
+	// NumGenes is the number of genes (hyperedges); the paper has
+	// 9760.
+	NumGenes int
+	// Hubs is the number of planted "critical" genes perturbed in
+	// most conditions together (the IFIT1/USP18 analogs). They share
+	// > HubShared conditions pairwise.
+	Hubs      int
+	HubShared int
+	// MeanPerturbed is the mean number of conditions in which an
+	// ordinary gene is perturbed.
+	MeanPerturbed int
+}
+
+// GeneCondition generates the virology-genomics-style hypergraph:
+// hyperedges are genes and vertices are experimental conditions in
+// which the gene is perturbed. A small set of planted hub genes is
+// perturbed together in more than HubShared shared conditions, so the
+// s-line graph at high s isolates exactly those genes — the structure
+// Fig. 5 visualizes.
+func GeneCondition(cfg GeneConditionConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.NumConditions < 1 {
+		cfg.NumConditions = 201
+	}
+	if cfg.MeanPerturbed < 1 {
+		cfg.MeanPerturbed = 3
+	}
+	if cfg.HubShared <= 0 {
+		cfg.HubShared = cfg.NumConditions / 2
+	}
+	b := hg.NewBuilder(0)
+	// Hub genes occupy IDs 0..Hubs-1 and share the first HubShared
+	// conditions (plus private noise).
+	for g := 0; g < cfg.Hubs; g++ {
+		for c := 0; c < cfg.HubShared; c++ {
+			b.AddPair(uint32(g), uint32(c))
+		}
+		extra := r.Intn(cfg.NumConditions / 8)
+		for k := 0; k < extra; k++ {
+			b.AddPair(uint32(g), uint32(r.Intn(cfg.NumConditions)))
+		}
+	}
+	for g := cfg.Hubs; g < cfg.NumGenes; g++ {
+		size := 1 + r.Intn(2*cfg.MeanPerturbed)
+		for k := 0; k < size; k++ {
+			b.AddPair(uint32(g), uint32(r.Intn(cfg.NumConditions)))
+		}
+	}
+	h, err := b.BuildWithSize(cfg.NumGenes, cfg.NumConditions)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// GeneDiseaseConfig parameterizes the disGeNet-style generator used by
+// Table II (PageRank stability) and Fig. 4.
+type GeneDiseaseConfig struct {
+	Seed        int64
+	NumGenes    int // vertices
+	NumDiseases int // hyperedges
+	// HubDiseases is the number of planted high-degree diseases (the
+	// "malignant neoplasm of breast" analogs). Hub k has a gene set
+	// whose size decays with k, and hubs share a common gene core so
+	// they stay linked even at high s.
+	HubDiseases int
+	HubCoreSize int
+	// MeanGenes is the mean gene count of an ordinary disease.
+	MeanGenes int
+	// PopularDiseases is the size of a mid-tier of diseases that draw
+	// their genes from a shared hot pool, so they frequently overlap
+	// in ≥10 genes (they populate the s=10 clique graph the way real
+	// disGeNet does) but rarely in ≥100.
+	PopularDiseases int
+	// PopularPool is the hot-pool size (default 400).
+	PopularPool int
+	// PopularMean is the mean gene count of a mid-tier disease
+	// (default 50).
+	PopularMean int
+}
+
+// GeneDisease generates a disGeNet-style disease-gene hypergraph:
+// hyperedges are diseases, vertices are associated genes. The planted
+// hub diseases share a large common gene core, so their PageRank
+// dominance in the clique expansion (s=1) survives the s=10 and s=100
+// higher-order clique expansions — the phenomenon of Table II.
+func GeneDisease(cfg GeneDiseaseConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.HubCoreSize <= 0 {
+		cfg.HubCoreSize = 150
+	}
+	if cfg.MeanGenes < 1 {
+		cfg.MeanGenes = 5
+	}
+	b := hg.NewBuilder(0)
+	for d := 0; d < cfg.HubDiseases; d++ {
+		// Shared core (genes 0..HubCoreSize-1), shrinking with rank
+		// so hub 0 dominates.
+		core := cfg.HubCoreSize * (cfg.HubDiseases + 2 - d) / (cfg.HubDiseases + 2)
+		for g := 0; g < core; g++ {
+			b.AddPair(uint32(d), uint32(g))
+		}
+		// Private periphery proportional to rank.
+		extra := cfg.HubCoreSize * (cfg.HubDiseases - d)
+		for k := 0; k < extra; k++ {
+			b.AddPair(uint32(d), uint32(r.Intn(cfg.NumGenes)))
+		}
+	}
+	pool := cfg.PopularPool
+	if pool <= 0 {
+		pool = 400
+	}
+	if pool > cfg.NumGenes {
+		pool = cfg.NumGenes
+	}
+	popMean := cfg.PopularMean
+	if popMean <= 0 {
+		popMean = 50
+	}
+	midEnd := cfg.HubDiseases + cfg.PopularDiseases
+	if midEnd > cfg.NumDiseases {
+		midEnd = cfg.NumDiseases
+	}
+	for d := cfg.HubDiseases; d < midEnd; d++ {
+		size := popMean/2 + r.Intn(popMean)
+		for k := 0; k < size; k++ {
+			b.AddPair(uint32(d), uint32(r.Intn(pool)))
+		}
+	}
+	for d := midEnd; d < cfg.NumDiseases; d++ {
+		size := 1 + r.Intn(2*cfg.MeanGenes)
+		for k := 0; k < size; k++ {
+			b.AddPair(uint32(d), uint32(r.Intn(cfg.NumGenes)))
+		}
+	}
+	h, err := b.BuildWithSize(cfg.NumDiseases, cfg.NumGenes)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// ActorMovieConfig parameterizes the IMDB-style generator of §V-C.
+type ActorMovieConfig struct {
+	Seed      int64
+	NumMovies int // vertices
+	NumActors int // hyperedges
+	// StarGroups plants groups of actors who collaborated in more
+	// than SharedMovies movies. Each planted group is a star: a
+	// center actor shares SharedMovies movies with each satellite,
+	// but satellites share movies only through the center, making the
+	// center the unique actor with non-zero betweenness (the Adoor
+	// Bhasi structure of §V-C).
+	StarGroups   int
+	GroupSize    int
+	SharedMovies int
+	// GroupSizes, when non-nil, overrides StarGroups/GroupSize with
+	// explicit per-group sizes — e.g. {5, 2, 2, 2} reproduces the
+	// four 100-connected components the paper reports on IMDB.
+	GroupSizes     []int
+	MeanFilmograph int // mean movies for an ordinary actor
+}
+
+// ActorMovie generates an IMDB-style hypergraph: hyperedges are actors,
+// vertices are movies; actors are s-incident when they share at least s
+// movies. The planted star group is recovered as an s-connected
+// component for s = SharedMovies, with only the center actor having a
+// non-zero s-betweenness centrality.
+func ActorMovie(cfg ActorMovieConfig) *hg.Hypergraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.GroupSize < 2 {
+		cfg.GroupSize = 5
+	}
+	if cfg.SharedMovies < 1 {
+		cfg.SharedMovies = 100
+	}
+	if cfg.MeanFilmograph < 1 {
+		cfg.MeanFilmograph = 4
+	}
+	groups := cfg.GroupSizes
+	if groups == nil {
+		for g := 0; g < cfg.StarGroups; g++ {
+			groups = append(groups, cfg.GroupSize)
+		}
+	}
+	b := hg.NewBuilder(0)
+	actor := uint32(0)
+	movie := 0
+	for _, size := range groups {
+		center := actor
+		actor++
+		for sat := 1; sat < size; sat++ {
+			satellite := actor
+			actor++
+			// The center and this satellite appear together in
+			// SharedMovies fresh movies; satellites never co-star
+			// without the center.
+			for k := 0; k < cfg.SharedMovies; k++ {
+				b.AddPair(center, uint32(movie))
+				b.AddPair(satellite, uint32(movie))
+				movie++
+			}
+		}
+	}
+	for int(actor) < cfg.NumActors {
+		size := 1 + r.Intn(2*cfg.MeanFilmograph)
+		for k := 0; k < size; k++ {
+			b.AddPair(actor, uint32(r.Intn(cfg.NumMovies)))
+		}
+		actor++
+	}
+	if movie < cfg.NumMovies {
+		movie = cfg.NumMovies
+	}
+	h, err := b.BuildWithSize(int(actor), movie)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"testing"
+
+	"hyperline/internal/hg"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	cfg := ZipfConfig{Seed: 7, NumVertices: 500, NumEdges: 300, MeanEdgeSize: 4, Skew: 1.2}
+	a, b := Zipf(cfg), Zipf(cfg)
+	if a.Incidences() != b.Incidences() {
+		t.Fatal("Zipf not deterministic")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		av, bv := a.EdgeVertices(uint32(e)), b.EdgeVertices(uint32(e))
+		if len(av) != len(bv) {
+			t.Fatalf("edge %d size differs", e)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("edge %d differs", e)
+			}
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	h := Zipf(ZipfConfig{Seed: 1, NumVertices: 2000, NumEdges: 1000, MeanEdgeSize: 5, Skew: 1.3})
+	if h.NumEdges() != 1000 || h.NumVertices() != 2000 {
+		t.Fatalf("wrong dims: %d, %d", h.NumEdges(), h.NumVertices())
+	}
+	s := hg.ComputeStats("z", h)
+	// Zipf popularity must concentrate on hubs: ∆v far above average.
+	if float64(s.MaxVertexDegree) < 5*s.AvgVertexDegree {
+		t.Fatalf("no hub vertices: max %d vs avg %.1f", s.MaxVertexDegree, s.AvgVertexDegree)
+	}
+}
+
+func TestCommunityOverlapStructure(t *testing.T) {
+	h := Community(CommunityConfig{
+		Seed: 3, NumVertices: 1000, NumCommunities: 50,
+		MeanCommunitySize: 12, EdgesPerCommunity: 4, Background: 100,
+	})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edges sampled from the same community pool must share many
+	// vertices: find at least one pair with overlap >= 4.
+	found := false
+	for e := 0; e+1 < 50*4 && !found; e += 4 {
+		if h.Inc(uint32(e), uint32(e+1)) >= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no high-overlap pair found in community hypergraph")
+	}
+}
+
+func TestDNSLikeShape(t *testing.T) {
+	h := DNSLike(DNSConfig{Seed: 5, Files: 2, DomainsPerFile: 2000, IPsPerFile: 300, WideEvery: -1})
+	if h.NumEdges() != 4000 || h.NumVertices() != 600 {
+		t.Fatalf("wrong dims: %d, %d", h.NumEdges(), h.NumVertices())
+	}
+	if h.MaxEdgeSize() > 3 {
+		t.Fatalf("domain with %d IPs, want <= 3", h.MaxEdgeSize())
+	}
+	// Shared-hosting IPs must dominate: ∆v much larger than ∆e.
+	if h.MaxVertexDegree() < 10*h.MaxEdgeSize() {
+		t.Fatalf("∆v=%d not ≫ ∆e=%d", h.MaxVertexDegree(), h.MaxEdgeSize())
+	}
+}
+
+func TestDNSLikeWideDomains(t *testing.T) {
+	h := DNSLike(DNSConfig{Seed: 5, Files: 2, DomainsPerFile: 2000, IPsPerFile: 300, WideEvery: 500})
+	// Wide domains give activeDNS its large ∆e; two wide domains from
+	// the same file must share many IPs (non-empty high-s line graph).
+	if h.MaxEdgeSize() < 30 {
+		t.Fatalf("∆e = %d, want CDN-like wide domains", h.MaxEdgeSize())
+	}
+	if got := h.Inc(0, 500); got < 8 {
+		t.Fatalf("wide domains share %d IPs, want >= 8", got)
+	}
+	// Ordinary domains stay tiny.
+	if h.EdgeSize(1) > 3 {
+		t.Fatalf("ordinary domain has %d IPs", h.EdgeSize(1))
+	}
+}
+
+func TestDNSLikeScalesWithFiles(t *testing.T) {
+	h1 := DNSLike(DNSConfig{Seed: 5, Files: 1, DomainsPerFile: 1000, IPsPerFile: 100})
+	h2 := DNSLike(DNSConfig{Seed: 5, Files: 2, DomainsPerFile: 1000, IPsPerFile: 100})
+	if h2.NumEdges() != 2*h1.NumEdges() {
+		t.Fatalf("edges did not double: %d vs %d", h1.NumEdges(), h2.NumEdges())
+	}
+}
+
+func TestAuthorPaperRepeatCollaboration(t *testing.T) {
+	h := AuthorPaper(AuthorPaperConfig{
+		Seed: 11, NumAuthors: 500, NumClusters: 40,
+		ClusterSize: 4, PapersPerCluster: 6, SoloPapers: 50,
+	})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two papers from the same cluster share the 4-author core.
+	if h.Inc(0, 1) < 4 {
+		t.Fatalf("cluster papers share %d authors, want >= 4", h.Inc(0, 1))
+	}
+	// Dual view: two core authors share >= PapersPerCluster papers.
+	d := h.Dual()
+	a0 := h.EdgeVertices(0)[0]
+	a1 := h.EdgeVertices(0)[1]
+	if d.Inc(a0, a1) < 6 {
+		t.Fatalf("core authors share %d papers, want >= 6", d.Inc(a0, a1))
+	}
+}
+
+func TestGeneConditionPlantedHubs(t *testing.T) {
+	h := GeneCondition(GeneConditionConfig{
+		Seed: 13, NumConditions: 201, NumGenes: 800, Hubs: 6, HubShared: 110,
+	})
+	if h.NumVertices() != 201 || h.NumEdges() != 800 {
+		t.Fatalf("wrong dims: %d, %d", h.NumVertices(), h.NumEdges())
+	}
+	// Hub genes 0 and 1 share more than 100 conditions (the
+	// IFIT1/USP18 property of §V-A).
+	if got := h.Inc(0, 1); got < 100 {
+		t.Fatalf("hub genes share %d conditions, want > 100", got)
+	}
+	// Ordinary genes stay small.
+	if h.EdgeSize(uint32(h.NumEdges()-1)) > 30 {
+		t.Fatal("background gene unexpectedly large")
+	}
+}
+
+func TestGeneDiseaseHubDominance(t *testing.T) {
+	h := GeneDisease(GeneDiseaseConfig{
+		Seed: 17, NumGenes: 3000, NumDiseases: 500, HubDiseases: 8, HubCoreSize: 120,
+	})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Hub diseases share a core of >= 100 genes pairwise.
+	if got := h.Inc(0, 1); got < 100 {
+		t.Fatalf("hub diseases share %d genes, want >= 100", got)
+	}
+	// Hub 0 is the largest hyperedge.
+	max := 0
+	for e := 1; e < h.NumEdges(); e++ {
+		if s := h.EdgeSize(uint32(e)); s > max {
+			max = s
+		}
+	}
+	if h.EdgeSize(0) < max {
+		t.Fatalf("hub 0 size %d below max %d", h.EdgeSize(0), max)
+	}
+}
+
+func TestActorMovieStarStructure(t *testing.T) {
+	h := ActorMovie(ActorMovieConfig{
+		Seed: 19, NumMovies: 5000, NumActors: 300,
+		StarGroups: 1, GroupSize: 5, SharedMovies: 100,
+	})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Center (actor 0) shares exactly 100 movies with each satellite.
+	for sat := uint32(1); sat < 5; sat++ {
+		if got := h.Inc(0, sat); got != 100 {
+			t.Fatalf("center shares %d movies with satellite %d, want 100", got, sat)
+		}
+	}
+	// Satellites share no movies with each other.
+	if got := h.Inc(1, 2); got != 0 {
+		t.Fatalf("satellites share %d movies, want 0", got)
+	}
+}
+
+func TestGeneratorsNonEmpty(t *testing.T) {
+	gens := map[string]*hg.Hypergraph{
+		"zipf":      Zipf(ZipfConfig{Seed: 1, NumVertices: 100, NumEdges: 50}),
+		"community": Community(CommunityConfig{Seed: 1, NumVertices: 100, NumCommunities: 5}),
+		"dns":       DNSLike(DNSConfig{Seed: 1, Files: 1, DomainsPerFile: 100, IPsPerFile: 20}),
+		"authors":   AuthorPaper(AuthorPaperConfig{Seed: 1, NumAuthors: 50, NumClusters: 5}),
+		"genes":     GeneCondition(GeneConditionConfig{Seed: 1, NumGenes: 50, Hubs: 2, HubShared: 20}),
+		"disease":   GeneDisease(GeneDiseaseConfig{Seed: 1, NumGenes: 200, NumDiseases: 30, HubDiseases: 2}),
+		"actors":    ActorMovie(ActorMovieConfig{Seed: 1, NumMovies: 500, NumActors: 40, StarGroups: 1, GroupSize: 3, SharedMovies: 10}),
+	}
+	for name, h := range gens {
+		if h.Incidences() == 0 {
+			t.Errorf("%s: empty hypergraph", name)
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

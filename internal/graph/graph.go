@@ -1,0 +1,216 @@
+// Package graph provides the weighted undirected graph substrate that
+// s-line graphs are materialized into (Stage 4 of the framework),
+// including the ID-squeezing step that remaps the hypersparse hyperedge
+// ID space to a contiguous node ID space.
+package graph
+
+import "sort"
+
+// Edge is one weighted undirected edge (U < V) produced by the
+// s-overlap stage; W is the overlap weight.
+type Edge struct {
+	U, V uint32
+	W    uint32
+}
+
+// Graph is an immutable weighted undirected graph in CSR form.
+type Graph struct {
+	numNodes int
+	numEdges int // undirected edge count
+	off      []int64
+	adj      []uint32
+	wgt      []uint32
+	// orig[node] = ID in the pre-squeeze space; nil when the graph
+	// was built without squeezing (IDs are the identity).
+	orig []uint32
+}
+
+// Build materializes a graph from an s-line edge list over a node ID
+// space of size numNodes. When squeeze is true, only nodes incident to
+// at least one edge receive (contiguous) node IDs — the paper's Stage-4
+// "ID squeezing" — and the mapping back to original IDs is retained.
+// Duplicate edges are coalesced (keeping the maximum weight) and
+// self-loops are ignored. The input slice is not modified.
+func Build(numNodes int, edges []Edge, squeeze bool) *Graph {
+	// Normalize to U < V and drop self-loops.
+	norm := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		norm = append(norm, e)
+	}
+	// The s-overlap stage emits edges already sorted by (U, V); only
+	// pay for a sort when the caller hands us something else.
+	sorted := sort.SliceIsSorted(norm, func(i, j int) bool {
+		if norm[i].U != norm[j].U {
+			return norm[i].U < norm[j].U
+		}
+		return norm[i].V < norm[j].V
+	})
+	if !sorted {
+		sort.Slice(norm, func(i, j int) bool {
+			if norm[i].U != norm[j].U {
+				return norm[i].U < norm[j].U
+			}
+			if norm[i].V != norm[j].V {
+				return norm[i].V < norm[j].V
+			}
+			return norm[i].W > norm[j].W
+		})
+	}
+	// Coalesce duplicates in place (max weight wins).
+	undirected := norm[:0]
+	for _, e := range norm {
+		if n := len(undirected); n > 0 && undirected[n-1].U == e.U && undirected[n-1].V == e.V {
+			if e.W > undirected[n-1].W {
+				undirected[n-1].W = e.W
+			}
+			continue
+		}
+		undirected = append(undirected, e)
+	}
+
+	g := &Graph{numEdges: len(undirected)}
+	var newID []int64
+	if squeeze {
+		present := make([]bool, numNodes)
+		for _, e := range undirected {
+			present[e.U] = true
+			present[e.V] = true
+		}
+		newID = make([]int64, numNodes)
+		for v := range newID {
+			newID[v] = -1
+		}
+		for v := 0; v < numNodes; v++ {
+			if present[v] {
+				newID[v] = int64(len(g.orig))
+				g.orig = append(g.orig, uint32(v))
+			}
+		}
+		g.numNodes = len(g.orig)
+		for i := range undirected {
+			undirected[i].U = uint32(newID[undirected[i].U])
+			undirected[i].V = uint32(newID[undirected[i].V])
+		}
+	} else {
+		g.numNodes = numNodes
+	}
+
+	deg := make([]int64, g.numNodes+1)
+	for _, e := range undirected {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	g.off = deg
+	for i := 0; i < g.numNodes; i++ {
+		g.off[i+1] += g.off[i]
+	}
+	g.adj = make([]uint32, 2*len(undirected))
+	g.wgt = make([]uint32, 2*len(undirected))
+	cursor := make([]int64, g.numNodes)
+	copy(cursor, g.off[:g.numNodes])
+	for _, e := range undirected {
+		g.adj[cursor[e.U]], g.wgt[cursor[e.U]] = e.V, e.W
+		cursor[e.U]++
+		g.adj[cursor[e.V]], g.wgt[cursor[e.V]] = e.U, e.W
+		cursor[e.V]++
+	}
+	// Sort each adjacency row (ids with parallel weights). Squeezing
+	// preserves relative order, so rows are already sorted on the
+	// U side; the V side needs it.
+	for u := 0; u < g.numNodes; u++ {
+		lo, hi := g.off[u], g.off[u+1]
+		row := rowSorter{ids: g.adj[lo:hi], ws: g.wgt[lo:hi]}
+		if !sort.IsSorted(row) {
+			sort.Sort(row)
+		}
+	}
+	return g
+}
+
+type rowSorter struct {
+	ids []uint32
+	ws  []uint32
+}
+
+func (r rowSorter) Len() int           { return len(r.ids) }
+func (r rowSorter) Less(i, j int) bool { return r.ids[i] < r.ids[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+	r.ws[i], r.ws[j] = r.ws[j], r.ws[i]
+}
+
+// NumNodes returns the number of nodes (post-squeeze if squeezed).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Squeezed reports whether ID squeezing was applied.
+func (g *Graph) Squeezed() bool { return g.orig != nil }
+
+// OrigID maps a node back to its pre-squeeze ID (identity when the
+// graph was not squeezed).
+func (g *Graph) OrigID(node uint32) uint32 {
+	if g.orig == nil {
+		return node
+	}
+	return g.orig[node]
+}
+
+// Neighbors returns the sorted neighbor IDs of u and, in parallel
+// position, the edge weights. The slices alias internal storage.
+func (g *Graph) Neighbors(u uint32) ([]uint32, []uint32) {
+	lo, hi := g.off[u], g.off[u+1]
+	return g.adj[lo:hi], g.wgt[lo:hi]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u uint32) int {
+	return int(g.off[u+1] - g.off[u])
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	ids, _ := g.Neighbors(u)
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == v
+}
+
+// Weight returns the weight of edge {u, v}, or 0 if absent.
+func (g *Graph) Weight(u, v uint32) uint32 {
+	ids, ws := g.Neighbors(u)
+	for i, id := range ids {
+		if id == v {
+			return ws[i]
+		}
+	}
+	return 0
+}
+
+// Edges returns the undirected edge list sorted by (U, V) with U < V.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for u := 0; u < g.numNodes; u++ {
+		ids, ws := g.Neighbors(uint32(u))
+		for i, v := range ids {
+			if uint32(u) < v {
+				out = append(out, Edge{U: uint32(u), V: v, W: ws[i]})
+			}
+		}
+	}
+	return out
+}

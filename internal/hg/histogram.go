@@ -1,0 +1,74 @@
+package hg
+
+import "sort"
+
+// Histogram is a log₂-bucketed degree histogram: Buckets[k] counts
+// values in [2ᵏ, 2ᵏ⁺¹), with zeros counted separately. Degree
+// histograms characterize the skew that drives the paper's workload
+// balancing choices (relabel-by-degree, cyclic partitioning).
+type Histogram struct {
+	Zeros   int64
+	Buckets []int64
+	// Percentiles at 50/90/99/100 (max) over the non-zero values.
+	P50, P90, P99, Max int
+}
+
+// EdgeSizeHistogram buckets the hyperedge sizes of h.
+func EdgeSizeHistogram(h *Hypergraph) Histogram {
+	vals := make([]int, h.NumEdges())
+	for e := range vals {
+		vals[e] = h.EdgeSize(uint32(e))
+	}
+	return histogram(vals)
+}
+
+// VertexDegreeHistogram buckets the vertex degrees of h.
+func VertexDegreeHistogram(h *Hypergraph) Histogram {
+	vals := make([]int, h.NumVertices())
+	for v := range vals {
+		vals[v] = h.VertexDegree(uint32(v))
+	}
+	return histogram(vals)
+}
+
+func histogram(vals []int) Histogram {
+	var hist Histogram
+	nonzero := make([]int, 0, len(vals))
+	for _, v := range vals {
+		if v == 0 {
+			hist.Zeros++
+			continue
+		}
+		nonzero = append(nonzero, v)
+		bucket := 0
+		for x := v; x > 1; x >>= 1 {
+			bucket++
+		}
+		for len(hist.Buckets) <= bucket {
+			hist.Buckets = append(hist.Buckets, 0)
+		}
+		hist.Buckets[bucket]++
+	}
+	if len(nonzero) == 0 {
+		return hist
+	}
+	sort.Ints(nonzero)
+	pick := func(q float64) int {
+		i := int(q * float64(len(nonzero)-1))
+		return nonzero[i]
+	}
+	hist.P50 = pick(0.50)
+	hist.P90 = pick(0.90)
+	hist.P99 = pick(0.99)
+	hist.Max = nonzero[len(nonzero)-1]
+	return hist
+}
+
+// Skew returns Max/P50, a crude skewness indicator (0 when empty). The
+// paper's "skewed degree distribution" inputs have Skew ≫ 1.
+func (h Histogram) Skew() float64 {
+	if h.P50 == 0 {
+		return 0
+	}
+	return float64(h.Max) / float64(h.P50)
+}

@@ -1,0 +1,69 @@
+package hg
+
+import (
+	"testing"
+)
+
+func TestEdgeSizeHistogramExample(t *testing.T) {
+	h := paperExample()
+	hist := EdgeSizeHistogram(h)
+	// Sizes 3, 3, 5, 2: buckets [1,2)=0, [2,4)=3, [4,8)=1.
+	if hist.Zeros != 0 {
+		t.Fatalf("zeros = %d, want 0", hist.Zeros)
+	}
+	if len(hist.Buckets) != 3 || hist.Buckets[1] != 3 || hist.Buckets[2] != 1 {
+		t.Fatalf("buckets = %v", hist.Buckets)
+	}
+	if hist.Max != 5 || hist.P50 != 3 {
+		t.Fatalf("max=%d p50=%d, want 5, 3", hist.Max, hist.P50)
+	}
+}
+
+func TestVertexDegreeHistogramExample(t *testing.T) {
+	h := paperExample()
+	hist := VertexDegreeHistogram(h)
+	// Degrees: a=2 b=3 c=3 d=2 e=2 f=1.
+	if hist.Zeros != 0 || hist.Max != 3 {
+		t.Fatalf("zeros=%d max=%d", hist.Zeros, hist.Max)
+	}
+	var total int64
+	for _, b := range hist.Buckets {
+		total += b
+	}
+	if total != 6 {
+		t.Fatalf("bucketed %d vertices, want 6", total)
+	}
+}
+
+func TestHistogramZerosAndEmpty(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(2, 0) // edges 0,1 empty
+	h, err := b.BuildWithSize(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := EdgeSizeHistogram(h)
+	if hist.Zeros != 2 {
+		t.Fatalf("zeros = %d, want 2", hist.Zeros)
+	}
+	empty := histogram(nil)
+	if empty.Max != 0 || empty.Skew() != 0 {
+		t.Fatal("empty histogram should be zeroed")
+	}
+}
+
+func TestHistogramSkew(t *testing.T) {
+	// 99 values of 1 and a single 1000: heavy skew.
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[99] = 1000
+	hist := histogram(vals)
+	if hist.Skew() < 100 {
+		t.Fatalf("skew = %f, want >= 100", hist.Skew())
+	}
+	if hist.P50 != 1 || hist.Max != 1000 {
+		t.Fatalf("p50=%d max=%d", hist.P50, hist.Max)
+	}
+}

@@ -1,0 +1,115 @@
+package hg
+
+import "sort"
+
+// PreprocessResult is the output of Stage 1 of the framework: a cleaned
+// (and optionally relabeled) hypergraph plus the ID mappings back to the
+// input.
+type PreprocessResult struct {
+	H *Hypergraph
+	// EdgeOrig[newEdgeID] = edge ID in the input hypergraph.
+	EdgeOrig []uint32
+	// VertexOrig[newVertexID] = vertex ID in the input hypergraph.
+	VertexOrig []uint32
+}
+
+// RelabelOrder selects the relabel-by-degree ordering applied to
+// hyperedge IDs in Stage 1 (§IV Stage-1 of the paper). Relabeling by
+// ascending degree, combined with the upper-triangle wedge traversal,
+// improves load balance and cache reuse on skewed inputs.
+type RelabelOrder uint8
+
+const (
+	// RelabelNone keeps input hyperedge IDs ("N" in Table III).
+	RelabelNone RelabelOrder = iota
+	// RelabelAscending orders hyperedges by non-decreasing size
+	// ("A" in Table III).
+	RelabelAscending
+	// RelabelDescending orders hyperedges by non-increasing size
+	// ("D" in Table III).
+	RelabelDescending
+)
+
+// String returns the one-letter notation used in the paper's Table III.
+func (r RelabelOrder) String() string {
+	switch r {
+	case RelabelNone:
+		return "N"
+	case RelabelAscending:
+		return "A"
+	case RelabelDescending:
+		return "D"
+	default:
+		return "?"
+	}
+}
+
+// Preprocess removes empty hyperedges and isolated vertices and applies
+// the requested relabel-by-degree ordering to the hyperedge IDs,
+// compacting both ID spaces. The mappings from new to original IDs are
+// returned so downstream results can be reported in input terms.
+func Preprocess(h *Hypergraph, order RelabelOrder) *PreprocessResult {
+	// Surviving edges, in their final order.
+	edges := make([]uint32, 0, h.numEdges)
+	for e := 0; e < h.numEdges; e++ {
+		if h.EdgeSize(uint32(e)) > 0 {
+			edges = append(edges, uint32(e))
+		}
+	}
+	switch order {
+	case RelabelAscending:
+		sort.SliceStable(edges, func(i, j int) bool {
+			return h.EdgeSize(edges[i]) < h.EdgeSize(edges[j])
+		})
+	case RelabelDescending:
+		sort.SliceStable(edges, func(i, j int) bool {
+			return h.EdgeSize(edges[i]) > h.EdgeSize(edges[j])
+		})
+	}
+
+	// Surviving vertices keep their relative order (vertex IDs are
+	// never relabeled by degree in the paper's edge-centric setting;
+	// they are only compacted).
+	vertexNew := make([]int64, h.numVertices)
+	for v := range vertexNew {
+		vertexNew[v] = -1
+	}
+	vertexOrig := make([]uint32, 0, h.numVertices)
+	for v := 0; v < h.numVertices; v++ {
+		if h.VertexDegree(uint32(v)) > 0 {
+			vertexNew[v] = int64(len(vertexOrig))
+			vertexOrig = append(vertexOrig, uint32(v))
+		}
+	}
+
+	b := NewBuilder(int(h.Incidences()))
+	for newE, origE := range edges {
+		for _, v := range h.EdgeVertices(origE) {
+			b.AddPair(uint32(newE), uint32(vertexNew[v]))
+		}
+	}
+	nh, err := b.BuildWithSize(len(edges), len(vertexOrig))
+	if err != nil {
+		// Unreachable: sizes are derived from the pairs above.
+		panic(err)
+	}
+	return &PreprocessResult{H: nh, EdgeOrig: edges, VertexOrig: vertexOrig}
+}
+
+// InducedByEdges returns the sub-hypergraph containing only the given
+// hyperedges (vertex space unchanged), plus the mapping from new edge
+// IDs to the originals. Used by Stage 2 (toplex simplification).
+func InducedByEdges(h *Hypergraph, keep []uint32) (*Hypergraph, []uint32) {
+	b := NewBuilder(0)
+	for newE, origE := range keep {
+		for _, v := range h.EdgeVertices(origE) {
+			b.AddPair(uint32(newE), v)
+		}
+	}
+	nh, err := b.BuildWithSize(len(keep), h.numVertices)
+	if err != nil {
+		panic(err)
+	}
+	orig := append([]uint32(nil), keep...)
+	return nh, orig
+}

@@ -1,0 +1,43 @@
+package hg
+
+import "fmt"
+
+// Stats summarizes a hypergraph with the columns of the paper's
+// Table IV: vertex/edge counts, average and maximum degrees on both
+// sides.
+type Stats struct {
+	Name            string
+	NumVertices     int   // |V|
+	NumEdges        int   // |E|
+	Incidences      int64 // |H|, non-zeros of the incidence matrix
+	AvgVertexDegree float64
+	AvgEdgeSize     float64
+	MaxVertexDegree int // ∆v
+	MaxEdgeSize     int // ∆e
+}
+
+// ComputeStats derives Table IV-style statistics for h.
+func ComputeStats(name string, h *Hypergraph) Stats {
+	s := Stats{
+		Name:            name,
+		NumVertices:     h.NumVertices(),
+		NumEdges:        h.NumEdges(),
+		Incidences:      h.Incidences(),
+		MaxVertexDegree: h.MaxVertexDegree(),
+		MaxEdgeSize:     h.MaxEdgeSize(),
+	}
+	if s.NumVertices > 0 {
+		s.AvgVertexDegree = float64(s.Incidences) / float64(s.NumVertices)
+	}
+	if s.NumEdges > 0 {
+		s.AvgEdgeSize = float64(s.Incidences) / float64(s.NumEdges)
+	}
+	return s
+}
+
+// String formats the stats as one row in the style of Table IV.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-22s |V|=%-9d |E|=%-9d dv=%-7.1f de=%-7.1f ∆v=%-8d ∆e=%d",
+		s.Name, s.NumVertices, s.NumEdges, s.AvgVertexDegree, s.AvgEdgeSize,
+		s.MaxVertexDegree, s.MaxEdgeSize)
+}

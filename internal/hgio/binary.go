@@ -1,0 +1,127 @@
+package hgio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"hyperline/internal/hg"
+)
+
+// Binary format: a compact little-endian CSR dump for large datasets
+// where text parsing dominates load time.
+//
+//	magic   [8]byte  "HLBIN\x00\x00\x01"  (version 1)
+//	n       uint64   number of vertices
+//	m       uint64   number of hyperedges
+//	nnz     uint64   number of incidences
+//	off     [m+1]uint64   edge offsets
+//	adj     [nnz]uint32   vertex IDs, sorted per edge
+var binaryMagic = [8]byte{'H', 'L', 'B', 'I', 'N', 0, 0, 1}
+
+// WriteBinary writes h in the hyperline binary CSR format.
+func WriteBinary(w io.Writer, h *hg.Hypergraph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	m := h.NumEdges()
+	header := []uint64{uint64(h.NumVertices()), uint64(m), uint64(h.Incidences())}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var off uint64
+	if err := binary.Write(bw, binary.LittleEndian, off); err != nil {
+		return err
+	}
+	for e := 0; e < m; e++ {
+		off += uint64(h.EdgeSize(uint32(e)))
+		if err := binary.Write(bw, binary.LittleEndian, off); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4)
+	for e := 0; e < m; e++ {
+		for _, v := range h.EdgeVertices(uint32(e)) {
+			binary.LittleEndian.PutUint32(buf, v)
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a hypergraph in the hyperline binary CSR format.
+func ReadBinary(r io.Reader) (*hg.Hypergraph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("hgio: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("hgio: bad magic %q", magic[:])
+	}
+	var n, m, nnz uint64
+	for _, p := range []*uint64{&n, &m, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("hgio: reading header: %w", err)
+		}
+	}
+	const sanity = 1 << 40
+	if n > sanity || m > sanity || nnz > sanity {
+		return nil, fmt.Errorf("hgio: implausible header (n=%d m=%d nnz=%d)", n, m, nnz)
+	}
+	off := make([]uint64, m+1)
+	if err := binary.Read(br, binary.LittleEndian, off); err != nil {
+		return nil, fmt.Errorf("hgio: reading offsets: %w", err)
+	}
+	if off[0] != 0 || off[m] != nnz {
+		return nil, fmt.Errorf("hgio: corrupt offsets [%d..%d], want [0..%d]", off[0], off[m], nnz)
+	}
+	adj := make([]uint32, nnz)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, fmt.Errorf("hgio: reading adjacency: %w", err)
+	}
+	b := hg.NewBuilder(int(nnz))
+	for e := uint64(0); e < m; e++ {
+		if off[e] > off[e+1] || off[e+1] > nnz {
+			return nil, fmt.Errorf("hgio: corrupt offset at edge %d", e)
+		}
+		for k := off[e]; k < off[e+1]; k++ {
+			if uint64(adj[k]) >= n {
+				return nil, fmt.Errorf("hgio: vertex %d out of range (n=%d)", adj[k], n)
+			}
+			b.AddPair(uint32(e), adj[k])
+		}
+	}
+	h, err := b.BuildWithSize(int(m), int(n))
+	if err != nil {
+		return nil, fmt.Errorf("hgio: %w", err)
+	}
+	return h, nil
+}
+
+// SaveBinary writes h to path in the binary format.
+func SaveBinary(path string, h *hg.Hypergraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteBinary(f, h)
+}
+
+// LoadBinary reads a hypergraph from a binary-format file.
+func LoadBinary(path string) (*hg.Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

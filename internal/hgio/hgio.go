@@ -1,0 +1,160 @@
+// Package hgio reads and writes hypergraphs as plain text, covering the
+// two common dataset encodings: incidence-pair lists ("edge vertex" per
+// line, as KONECT-style bipartite graphs are distributed) and adjacency
+// lists (one hyperedge per line, vertices space-separated, as Hygra and
+// hMETIS-style formats use).
+package hgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyperline/internal/hg"
+)
+
+// ReadPairs parses an incidence-pair list: each non-empty line holds
+// "edgeID vertexID" (whitespace separated). Lines starting with '#' or
+// '%' are comments. IDs must be non-negative integers < 2³².
+func ReadPairs(r io.Reader) (*hg.Hypergraph, error) {
+	b := hg.NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("hgio: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		e, err := parseID(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("hgio: line %d: bad edge id: %v", line, err)
+		}
+		v, err := parseID(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("hgio: line %d: bad vertex id: %v", line, err)
+		}
+		b.AddPair(e, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hgio: %v", err)
+	}
+	return b.Build(), nil
+}
+
+// WritePairs writes the incidence-pair encoding of h.
+func WritePairs(w io.Writer, h *hg.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# hyperline incidence pairs: %d edges, %d vertices\n",
+		h.NumEdges(), h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		for _, v := range h.EdgeVertices(uint32(e)) {
+			fmt.Fprintf(bw, "%d %d\n", e, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses an adjacency encoding: line i lists the member
+// vertices of hyperedge i, whitespace separated; empty lines denote
+// empty hyperedges. '#'/'%' comment lines are skipped and do not count
+// as hyperedges.
+func ReadAdjacency(r io.Reader) (*hg.Hypergraph, error) {
+	var edges [][]uint32
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text != "" && (text[0] == '#' || text[0] == '%') {
+			continue
+		}
+		var verts []uint32
+		for _, f := range strings.Fields(text) {
+			v, err := parseID(f)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: line %d: bad vertex id: %v", line, err)
+			}
+			verts = append(verts, v)
+		}
+		edges = append(edges, verts)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hgio: %v", err)
+	}
+	return hg.FromEdgeSlices(edges, 0), nil
+}
+
+// WriteAdjacency writes the adjacency encoding of h.
+func WriteAdjacency(w io.Writer, h *hg.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	for e := 0; e < h.NumEdges(); e++ {
+		vs := h.EdgeVertices(uint32(e))
+		for i, v := range vs {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(v), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a hypergraph from path, selecting the format by
+// extension: ".pairs" for incidence pairs, ".bin" for the binary CSR
+// format, anything else (".hgr", ".adj", ".txt") for adjacency lines.
+func LoadFile(path string) (*hg.Hypergraph, error) {
+	if strings.HasSuffix(path, ".bin") {
+		return LoadBinary(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".pairs") {
+		return ReadPairs(f)
+	}
+	return ReadAdjacency(f)
+}
+
+// SaveFile writes a hypergraph to path, selecting the format by
+// extension as in LoadFile.
+func SaveFile(path string, h *hg.Hypergraph) error {
+	if strings.HasSuffix(path, ".bin") {
+		return SaveBinary(path, h)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".pairs") {
+		return WritePairs(f, h)
+	}
+	return WriteAdjacency(f, h)
+}
+
+func parseID(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}

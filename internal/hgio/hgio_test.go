@@ -1,0 +1,145 @@
+package hgio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/hg"
+)
+
+func paperExample() *hg.Hypergraph {
+	return hg.FromEdgeSlices([][]uint32{
+		{0, 1, 2},
+		{1, 2, 3},
+		{0, 1, 2, 3, 4},
+		{4, 5},
+	}, 6)
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	h := paperExample()
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.EdgeSlices(), h.EdgeSlices()) {
+		t.Fatal("pairs round trip changed the hypergraph")
+	}
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	h := paperExample()
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.EdgeSlices(), h.EdgeSlices()) {
+		t.Fatal("adjacency round trip changed the hypergraph")
+	}
+}
+
+func TestReadPairsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n% other comment\n\n0 1\n0 2\n1 2\n"
+	h, err := ReadPairs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 || h.NumVertices() != 3 {
+		t.Fatalf("got %d edges, %d vertices", h.NumEdges(), h.NumVertices())
+	}
+}
+
+func TestReadPairsErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "0 1 2\n", "x 1\n", "0 y\n", "-1 2\n"} {
+		if _, err := ReadPairs(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadAdjacencyEmptyEdges(t *testing.T) {
+	in := "1 2 3\n\n4\n"
+	h, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", h.NumEdges())
+	}
+	if h.EdgeSize(1) != 0 {
+		t.Fatal("edge 1 should be empty")
+	}
+}
+
+func TestReadAdjacencyBadVertex(t *testing.T) {
+	if _, err := ReadAdjacency(strings.NewReader("1 foo\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := paperExample()
+	for _, name := range []string{"h.pairs", "h.hgr"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.EdgeSlices(), h.EdgeSlices()) {
+			t.Fatalf("%s round trip changed the hypergraph", name)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.pairs")); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist error, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		edges := make([][]uint32, 1+r.Intn(20))
+		for e := range edges {
+			seen := map[uint32]bool{}
+			for k := 0; k < 1+r.Intn(6); k++ {
+				seen[uint32(r.Intn(15))] = true
+			}
+			for v := range seen {
+				edges[e] = append(edges[e], v)
+			}
+		}
+		h := hg.FromEdgeSlices(edges, 15)
+		var buf bytes.Buffer
+		if err := WriteAdjacency(&buf, h); err != nil {
+			return false
+		}
+		got, err := ReadAdjacency(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.EdgeSlices(), h.EdgeSlices())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package spgemm
+
+import (
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+// CliqueExpansionMatrix computes the weighted clique-expansion
+// adjacency matrix W = HHᵀ − D_V of §III-H: W[i,j] is the number of
+// hyperedges containing both vertices i and j, and the diagonal
+// (vertex degrees) is removed. As the paper stresses, W can be very
+// dense — this explicit materialization exists to demonstrate the
+// memory cost the s-clique approach avoids, and as a test oracle for
+// the dual-hypergraph path.
+func CliqueExpansionMatrix(h *hg.Hypergraph, opt par.Options) (*Matrix, error) {
+	w, err := Multiply(VertexView(h), EdgeView(h), opt)
+	if err != nil {
+		return nil, err
+	}
+	// Subtract D_V: drop diagonal entries in place.
+	out := &Matrix{Rows: w.Rows, Cols: w.Cols, Off: make([]int64, w.Rows+1)}
+	cols := make([]uint32, 0, len(w.Col))
+	vals := make([]uint32, 0, len(w.Val))
+	for i := 0; i < w.Rows; i++ {
+		rc, rv := w.Row(i)
+		for k, j := range rc {
+			if int(j) == i {
+				continue
+			}
+			cols = append(cols, j)
+			vals = append(vals, rv[k])
+		}
+		out.Off[i+1] = int64(len(cols))
+	}
+	out.Col = cols
+	out.Val = vals
+	return out, nil
+}

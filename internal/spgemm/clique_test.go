@@ -1,0 +1,63 @@
+package spgemm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/core"
+	"hyperline/internal/par"
+)
+
+func TestCliqueExpansionMatrixExample(t *testing.T) {
+	h := paperExample()
+	w, err := CliqueExpansionMatrix(h, par.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows != 6 || w.Cols != 6 {
+		t.Fatalf("W is %dx%d, want 6x6", w.Rows, w.Cols)
+	}
+	// W[i,j] = adj(i,j); diagonal removed.
+	for i := 0; i < 6; i++ {
+		if w.At(i, i) != 0 {
+			t.Fatalf("diagonal W[%d,%d] = %d, want 0", i, i, w.At(i, i))
+		}
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			if got, want := w.At(i, j), uint32(h.Adj(uint32(i), uint32(j))); got != want {
+				t.Fatalf("W[%d,%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	// adj(b,c) = 3 (§II).
+	if w.At(1, 2) != 3 {
+		t.Fatalf("W[b,c] = %d, want 3", w.At(1, 2))
+	}
+}
+
+// TestCliqueExpansionDuality verifies §III-H: thresholding W at s gives
+// the s-clique graph, which equals the s-line graph of the dual.
+func TestCliqueExpansionDuality(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomH(r, 18, 22)
+		s := 1 + int(sRaw%4)
+		w, err := CliqueExpansionMatrix(h, par.Options{Workers: 2})
+		if err != nil {
+			return false
+		}
+		fromW := FilterS(w, s)
+		fromDual, _ := core.SLineEdges(h.Dual(), s, core.Config{})
+		if len(fromW) == 0 && len(fromDual) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(fromW, fromDual)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+func randomH(r *rand.Rand, n, m int) *hg.Hypergraph {
+	edges := make([][]uint32, m)
+	for e := range edges {
+		size := 1 + r.Intn(6)
+		seen := map[uint32]bool{}
+		for len(seen) < size {
+			seen[uint32(r.Intn(n))] = true
+		}
+		for v := range seen {
+			edges[e] = append(edges[e], v)
+		}
+	}
+	return hg.FromEdgeSlices(edges, n)
+}
+
+func matricesEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMultiplyHashMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomH(r, 20, 25)
+		a, b := EdgeView(h), VertexView(h)
+		dense, err := Multiply(a, b, par.Options{Workers: 3})
+		if err != nil {
+			return false
+		}
+		hash, err := MultiplyHash(a, b, par.Options{Workers: 3})
+		if err != nil {
+			return false
+		}
+		return matricesEqual(dense, hash)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyHashUpperMatchesDenseUpper(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomH(r, 15, 20)
+		a, b := EdgeView(h), VertexView(h)
+		dense, err := MultiplyUpper(a, b, par.Options{})
+		if err != nil {
+			return false
+		}
+		hash, err := MultiplyHashUpper(a, b, par.Options{})
+		if err != nil {
+			return false
+		}
+		return matricesEqual(dense, hash)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyHashDimensionMismatch(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Off: []int64{0, 0, 0}}
+	b := &Matrix{Rows: 2, Cols: 2, Off: []int64{0, 0, 0}}
+	if _, err := MultiplyHash(a, b, par.Options{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestHashAccumulatorGrowth(t *testing.T) {
+	acc := newHashAccumulator(2)
+	// Insert far beyond initial capacity, with repeats.
+	for round := 0; round < 3; round++ {
+		for k := uint32(0); k < 1000; k++ {
+			acc.add(k, 1)
+		}
+	}
+	cols, vals := acc.drain(nil, nil)
+	if len(cols) != 1000 {
+		t.Fatalf("drained %d entries, want 1000", len(cols))
+	}
+	seen := map[uint32]uint32{}
+	for i, c := range cols {
+		seen[c] = vals[i]
+	}
+	for k := uint32(0); k < 1000; k++ {
+		if seen[k] != 3 {
+			t.Fatalf("col %d accumulated %d, want 3", k, seen[k])
+		}
+	}
+	// After drain the table must be reusable and empty.
+	acc.add(7, 5)
+	cols, vals = acc.drain(nil, nil)
+	if len(cols) != 1 || cols[0] != 7 || vals[0] != 5 {
+		t.Fatalf("reuse after drain broken: %v %v", cols, vals)
+	}
+}
+
+func TestFilterHashPipelineMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	h := randomH(r, 30, 40)
+	a, b := EdgeView(h), VertexView(h)
+	dense, err := MultiplyUpper(a, b, par.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := MultiplyHashUpper(a, b, par.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 4; s++ {
+		de := FilterS(dense, s)
+		he := FilterS(hash, s)
+		if len(de) != len(he) {
+			t.Fatalf("s=%d: %d vs %d edges", s, len(de), len(he))
+		}
+		for i := range de {
+			if de[i] != he[i] {
+				t.Fatalf("s=%d: edge %d differs", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package spgemm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyperline/internal/core"
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+func paperExample() *hg.Hypergraph {
+	return hg.FromEdgeSlices([][]uint32{
+		{0, 1, 2},
+		{1, 2, 3},
+		{0, 1, 2, 3, 4},
+		{4, 5},
+	}, 6)
+}
+
+func TestEdgeViewIncidence(t *testing.T) {
+	// Figure 3's incidence matrix: H is 6x4 (vertices × edges); the
+	// edge view is its transpose.
+	h := paperExample()
+	ht := EdgeView(h)
+	if ht.Rows != 4 || ht.Cols != 6 {
+		t.Fatalf("Hᵀ is %dx%d, want 4x6", ht.Rows, ht.Cols)
+	}
+	if ht.NNZ() != 13 {
+		t.Fatalf("nnz = %d, want 13", ht.NNZ())
+	}
+	// Edge 3 (id 2) contains all of a..e.
+	for v := 0; v < 5; v++ {
+		if ht.At(2, v) != 1 {
+			t.Fatalf("H[%d,2] missing", v)
+		}
+	}
+	if ht.At(2, 5) != 0 {
+		t.Fatal("edge 3 should not contain f")
+	}
+	hv := VertexView(h)
+	if hv.Rows != 6 || hv.Cols != 4 {
+		t.Fatalf("H is %dx%d, want 6x4", hv.Rows, hv.Cols)
+	}
+}
+
+func TestMultiplyAdjacency(t *testing.T) {
+	// L = HᵀH: L[i,j] = inc(ei, ej); diagonal = edge sizes (§II-B).
+	h := paperExample()
+	l, err := Multiply(EdgeView(h), VertexView(h), par.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rows != 4 || l.Cols != 4 {
+		t.Fatalf("L is %dx%d, want 4x4", l.Rows, l.Cols)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var want uint32
+			if i == j {
+				want = uint32(h.EdgeSize(uint32(i)))
+			} else {
+				want = uint32(h.Inc(uint32(i), uint32(j)))
+			}
+			if got := l.At(i, j); got != want {
+				t.Fatalf("L[%d,%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Off: []int64{0, 0, 0}}
+	b := &Matrix{Rows: 2, Cols: 2, Off: []int64{0, 0, 0}}
+	if _, err := Multiply(a, b, par.Options{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestMultiplyUpperHalvesStorage(t *testing.T) {
+	h := paperExample()
+	full, err := Multiply(EdgeView(h), VertexView(h), par.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := MultiplyUpper(EdgeView(h), VertexView(h), par.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upper.NNZ() >= full.NNZ() {
+		t.Fatalf("upper nnz %d not below full nnz %d", upper.NNZ(), full.NNZ())
+	}
+	for i := 0; i < upper.Rows; i++ {
+		cols, vals := upper.Row(i)
+		for k, j := range cols {
+			if int(j) <= i {
+				t.Fatalf("upper product stored (%d,%d)", i, j)
+			}
+			if vals[k] != full.At(i, int(j)) {
+				t.Fatalf("upper value mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFilterMatchesAlgorithm2(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		edges := make([][]uint32, 30)
+		for e := range edges {
+			size := 1 + r.Intn(6)
+			seen := map[uint32]bool{}
+			for len(seen) < size {
+				seen[uint32(r.Intn(25))] = true
+			}
+			for v := range seen {
+				edges[e] = append(edges[e], v)
+			}
+		}
+		h := hg.FromEdgeSlices(edges, 25)
+		s := 1 + int(sRaw%4)
+		want, _ := core.SLineEdges(h, s, core.Config{})
+		got, err := SLineFilter(h, s, par.Options{Workers: 3})
+		if err != nil {
+			return false
+		}
+		gotUpper, err := SLineFilterUpper(h, s, par.Options{Workers: 3})
+		if err != nil {
+			return false
+		}
+		if !(len(got) == 0 && len(want) == 0) && !reflect.DeepEqual(got, want) {
+			return false
+		}
+		if !(len(gotUpper) == 0 && len(want) == 0) && !reflect.DeepEqual(gotUpper, want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterSClamp(t *testing.T) {
+	h := paperExample()
+	l, err := Multiply(EdgeView(h), VertexView(h), par.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FilterS(l, 0), FilterS(l, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("s=0 should behave as s=1")
+	}
+}
+
+func TestMultiplyAssociativeSmall(t *testing.T) {
+	// (A·B) computed with 1 worker equals many workers.
+	h := paperExample()
+	a, b := EdgeView(h), VertexView(h)
+	l1, err := Multiply(a, b, par.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := Multiply(a, b, par.Options{Workers: 8, Strategy: par.Cyclic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l1.Rows; i++ {
+		for j := 0; j < l1.Cols; j++ {
+			if l1.At(i, j) != l8.At(i, j) {
+				t.Fatalf("worker count changed product at (%d,%d)", i, j)
+			}
+		}
+	}
+}
