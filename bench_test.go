@@ -20,6 +20,7 @@ import (
 	"hyperline/internal/core"
 	"hyperline/internal/experiments"
 	"hyperline/internal/gen"
+	"hyperline/internal/graph"
 	"hyperline/internal/hg"
 	"hyperline/internal/par"
 	"hyperline/internal/spectral"
@@ -318,6 +319,22 @@ func BenchmarkAblationCounterStoreTLSDense(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationCounterStoreTLSHash(b *testing.B) {
+	h := web()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, core.Config{Store: core.TLSHash})
+	}
+}
+
+func BenchmarkAblationCounterStoreAuto(b *testing.B) {
+	h := web()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLineEdges(h, 8, core.Config{Store: core.StoreAuto})
+	}
+}
+
 // Degree-based pruning on/off at a selective s.
 func BenchmarkAblationPruningOn(b *testing.B) {
 	h := lj()
@@ -414,6 +431,37 @@ func nestedHypergraph() *hg.Hypergraph {
 		nestedH = b.Build()
 	})
 	return nestedH
+}
+
+// ---- Stage 4: defensive Build vs the parallel BuildSorted fast path ----
+
+var stage4Once sync.Once
+var stage4Edges []graph.Edge
+var stage4Nodes int
+
+func stage4Input() ([]graph.Edge, int) {
+	stage4Once.Do(func() {
+		h := lj()
+		stage4Edges, _ = core.SLineEdges(h, 8, core.Config{})
+		stage4Nodes = h.NumEdges()
+	})
+	return stage4Edges, stage4Nodes
+}
+
+func BenchmarkStage4Build(b *testing.B) {
+	edges, nodes := stage4Input()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Build(nodes, edges, true)
+	}
+}
+
+func BenchmarkStage4BuildSorted(b *testing.B) {
+	edges, nodes := stage4Input()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.BuildSorted(nodes, edges, true, par.Options{})
+	}
 }
 
 // ---- I/O sanity bench used in the README quickstart ----

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a compact
+// JSON report so the repository's performance trajectory can be tracked
+// across PRs (BENCH_<n>.json files at the repo root):
+//
+//	go test -run '^$' -bench . -benchtime 3x . | go run ./cmd/benchjson -o BENCH_1.json -label "PR 1"
+//
+// Repeated runs of the same benchmark (-count > 1) are aggregated to
+// their minimum ns/op — the conventional steady-state estimate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkFig8Threads8-8   	       3	 293118511 ns/op	 1234 B/op	 5 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Label      string    `json:"label,omitempty"`
+	Date       string    `json:"date"`
+	GoOS       string    `json:"goos,omitempty"`
+	GoArch     string    `json:"goarch,omitempty"`
+	CPU        string    `json:"cpu,omitempty"`
+	Benchmarks []*result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	label := flag.String("label", "", "free-form label recorded in the report")
+	flag.Parse()
+
+	rep := report{Label: *label, Date: time.Now().UTC().Format(time.RFC3339), Benchmarks: []*result{}}
+	byName := map[string]*result{}
+	meta := regexp.MustCompile(`^(goos|goarch|cpu): (.*)$`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		if m := meta.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				rep.GoOS = m[2]
+			case "goarch":
+				rep.GoArch = m[2]
+			case "cpu":
+				rep.CPU = m[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := byName[m[1]]
+		if r == nil {
+			r = &result{Name: m[1], NsPerOp: ns, Iters: iters}
+			byName[m[1]] = r
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+		r.Runs++
+		if ns < r.NsPerOp || r.Runs == 1 {
+			r.NsPerOp = ns
+			r.Iters = iters
+		}
+		if m[4] != "" {
+			b, _ := strconv.ParseFloat(m[4], 64)
+			if r.BytesPerOp == 0 || b < r.BytesPerOp {
+				r.BytesPerOp = b
+			}
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseInt(m[5], 10, 64)
+			if r.AllocsPerOp == 0 || a < r.AllocsPerOp {
+				r.AllocsPerOp = a
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

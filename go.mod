@@ -1,0 +1,3 @@
+module hyperline
+
+go 1.23

@@ -102,6 +102,24 @@ const (
 	Cyclic  = par.Cyclic
 )
 
+// CounterStore selects Algorithm 2's overlap-counter storage.
+type CounterStore = core.CounterStore
+
+// Counter storage modes (§III-F).
+const (
+	// StoreAuto (the default) adaptively picks dense or
+	// open-addressing thread-local counters from the hypergraph's
+	// size and 2-hop frontier.
+	StoreAuto = core.StoreAuto
+	// StoreMap allocates a fresh hashmap per outer iteration (the
+	// paper's dynamic-allocation mode).
+	StoreMap = core.MapPerIteration
+	// StoreDense uses pre-allocated per-worker dense counter arrays.
+	StoreDense = core.TLSDense
+	// StoreHash uses pre-allocated per-worker open-addressing tables.
+	StoreHash = core.TLSHash
+)
+
 // RelabelOrder selects Stage-1 relabel-by-degree (Table III "A"/"D"/"N").
 type RelabelOrder = hg.RelabelOrder
 
@@ -114,7 +132,7 @@ const (
 
 // Options configures an s-line graph computation. The zero value runs
 // Algorithm 2 with blocked distribution, no relabeling, ID squeezing
-// on, and GOMAXPROCS workers.
+// on, adaptive counter storage (StoreAuto), and GOMAXPROCS workers.
 type Options struct {
 	// Algorithm: AlgoHashmap (default) or AlgoSetIntersection.
 	Algorithm Algorithm
@@ -127,9 +145,14 @@ type Options struct {
 	Workers int
 	// Grain: blocked-chunk size (0 = default).
 	Grain int
-	// TLSDenseCounters switches Algorithm 2 from per-iteration
-	// hashmaps to pre-allocated per-worker dense counters (better for
-	// dense overlap structure).
+	// Counters selects Algorithm 2's counter storage. The zero value
+	// is StoreAuto: dense or open-addressing thread-local counters
+	// picked adaptively per run.
+	Counters CounterStore
+	// TLSDenseCounters forces the dense thread-local counters,
+	// overriding Counters.
+	//
+	// Deprecated: set Counters to StoreDense instead.
 	TLSDenseCounters bool
 	// ExactWeights makes Algorithm 1 compute exact overlap counts
 	// instead of short-circuiting at s (Algorithm 2 is always exact).
@@ -142,7 +165,7 @@ type Options struct {
 }
 
 func (o Options) pipeline() core.PipelineConfig {
-	store := core.MapPerIteration
+	store := o.Counters
 	if o.TLSDenseCounters {
 		store = core.TLSDense
 	}

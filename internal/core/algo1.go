@@ -16,6 +16,7 @@ type worker1 struct {
 	// holds the stamp of the last ei for which ej was intersected.
 	seen  []uint32
 	stamp uint32
+	pos   []uint32 // per-vertex resumable suffix cursors (may be nil)
 }
 
 // setIntersectionEdges is Algorithm 1, the prior state-of-the-art
@@ -31,6 +32,9 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 	for i := range workers {
 		workers[i].seen = make([]uint32, m)
 	}
+	for i, pos := range newUpperCaches(w, h.NumVertices()) {
+		workers[i].pos = pos
+	}
 
 	par.For(m, cfg.parOptions(), func(worker, i int) {
 		st := &workers[worker]
@@ -44,9 +48,10 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 			clear(st.seen)
 			st.stamp = 1
 		}
+		start := len(st.edges)
 		eiVerts := h.EdgeVertices(ei)
 		for _, vk := range eiVerts {
-			for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
+			for _, ej := range upper(h, vk, ei, st.pos) {
 				st.wedges++
 				if st.seen[ej] == st.stamp {
 					continue // candidate already intersected for this ei
@@ -68,6 +73,10 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 				}
 			}
 		}
+		// Wedge traversal emits this iteration's neighbors out of
+		// order; sorting the segment keeps the worker list
+		// (U, V)-sorted for the parallel merge.
+		sortSegmentByV(st.edges[start:])
 	})
 
 	stats := Stats{WedgesPerWorker: make([]int64, len(workers))}
@@ -79,7 +88,7 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 		stats.Pruned += workers[i].pruned
 		stats.SetIntersections += workers[i].intersections
 	}
-	edges := mergeWorkerEdges(lists)
+	edges := mergeWorkerEdges(lists, cfg.parOptions())
 	stats.Edges = int64(len(edges))
 	return edges, stats
 }

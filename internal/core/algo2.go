@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 
 	"hyperline/internal/hg"
 	"hyperline/internal/par"
@@ -14,8 +13,9 @@ import (
 // heuristics are selected by cfg; hyperedge IDs are used as given (apply
 // hg.Preprocess or run the Pipeline for relabel-by-degree).
 //
-// s must be ≥ 1. The returned edge list is sorted by (U, V) and is
-// deterministic for a given hypergraph regardless of cfg.
+// s must be ≥ 1. The returned edge list is sorted by (U, V), deduped
+// with U < V, and is deterministic for a given hypergraph regardless of
+// cfg — it satisfies graph.BuildSorted's input contract.
 func SLineEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 	if s < 1 {
 		s = 1
@@ -37,19 +37,112 @@ func numWorkers(cfg Config) int {
 
 // upperNeighbors returns the suffix of the sorted hyperedge list with
 // IDs strictly greater than ei: the "(i < j)" upper-triangle rule that
-// traverses each wedge (ei, vk, ej) exactly once.
+// traverses each wedge (ei, vk, ej) exactly once. The binary search is
+// manual — this runs once per incidence pair, and sort.Search's
+// function-valued predicate does not inline.
 func upperNeighbors(edges []uint32, ei uint32) []uint32 {
-	lo := sort.Search(len(edges), func(k int) bool { return edges[k] > ei })
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid] <= ei {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	return edges[lo:]
+}
+
+// upperCacheBudget caps the memory spent on per-worker suffix-position
+// caches (4·n bytes each); beyond it workers fall back to the binary
+// search of upperNeighbors.
+const upperCacheBudget = 64 << 20
+
+// newUpperCaches allocates one suffix-position cache per worker, or nil
+// when n vertices × workers exceeds the budget.
+func newUpperCaches(workers, n int) [][]uint32 {
+	if int64(workers)*int64(n)*4 > upperCacheBudget {
+		return nil
+	}
+	caches := make([][]uint32, workers)
+	for i := range caches {
+		caches[i] = make([]uint32, n)
+	}
+	return caches
+}
+
+// upperNeighborsCached is upperNeighbors with a per-worker resumable
+// cursor per vertex. Both workload distributions hand each worker a
+// strictly increasing ei sequence, so for a fixed vk the suffix start
+// only moves forward; resuming from the cached position costs amortized
+// O(1) per query (each worker advances a vertex's cursor at most
+// deg(vk) positions over the whole run) instead of a cache-missing
+// O(log deg) binary search per incidence pair.
+func upperNeighborsCached(edges []uint32, ei uint32, pos []uint32, vk uint32) []uint32 {
+	idx := int(pos[vk])
+	for idx < len(edges) && edges[idx] <= ei {
+		idx++
+	}
+	pos[vk] = uint32(idx)
+	return edges[idx:]
+}
+
+// upper dispatches between the cached and binary-search suffix lookups.
+func upper(h *hg.Hypergraph, vk, ei uint32, pos []uint32) []uint32 {
+	list := h.VertexEdges(vk)
+	if pos != nil {
+		return upperNeighborsCached(list, ei, pos, vk)
+	}
+	return upperNeighbors(list, ei)
+}
+
+// denseStoreBudget caps the total memory StoreAuto will spend on
+// per-worker dense counter arrays (4·m bytes each) before switching to
+// the open-addressing tables.
+const denseStoreBudget = 64 << 20
+
+// chooseStore resolves StoreAuto for one run: dense thread-local
+// counters when the per-worker arrays fit the budget or when the
+// average 2-hop frontier covers a large fraction of the hyperedge space
+// (a hash table would rival the dense array in size while paying probe
+// costs), the open-addressing table otherwise. The frontier estimate
+// is returned so the caller can reuse it as the table size hint.
+func chooseStore(h *hg.Hypergraph, workers int) (CounterStore, int64) {
+	m := h.NumEdges()
+	frontier := avgFrontier(h)
+	if int64(workers)*int64(m)*4 <= denseStoreBudget {
+		return TLSDense, frontier
+	}
+	if frontier*8 >= int64(m) {
+		return TLSDense, frontier
+	}
+	return TLSHash, frontier
+}
+
+// avgFrontier estimates the mean 2-hop frontier size of a hyperedge:
+// Σ_v deg(v)² / m counts, for the average outer iteration, how many
+// wedge endpoints (with multiplicity) it visits.
+func avgFrontier(h *hg.Hypergraph) int64 {
+	var wedgeEnds int64
+	for v := 0; v < h.NumVertices(); v++ {
+		d := int64(h.VertexDegree(uint32(v)))
+		wedgeEnds += d * d
+	}
+	if h.NumEdges() == 0 {
+		return 0
+	}
+	return wedgeEnds / int64(h.NumEdges())
 }
 
 // worker2 is the thread-local state of one Algorithm 2 worker.
 type worker2 struct {
-	edges   []Edge // Lt(H), the per-thread edge list
+	edges   []Edge // Lt(H), the per-thread edge list, kept (U,V)-sorted
 	wedges  int64
 	pruned  int64
 	counts  []uint32 // TLSDense: dense overlap counters, len m
 	touched []uint32 // TLSDense: indices of non-zero counters
+	table   *oaTable // TLSHash: open-addressing counter table
+	pos     []uint32 // per-vertex resumable suffix cursors (may be nil)
 }
 
 // hashmapEdges is Algorithm 2 of the paper: for each hyperedge ei the
@@ -59,14 +152,30 @@ type worker2 struct {
 func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 	m := h.NumEdges()
 	w := numWorkers(cfg)
+	store := cfg.Store
+	hint := int64(-1)
+	if store == StoreAuto {
+		store, hint = chooseStore(h, w)
+	}
 	workers := make([]worker2, w)
-	if cfg.Store == TLSDense {
+	switch store {
+	case TLSDense:
 		// Pre-allocated thread-local storage (§III-F): one dense
 		// counter array per worker, reset via the touched list after
 		// each outer iteration.
 		for i := range workers {
 			workers[i].counts = make([]uint32, m)
 		}
+	case TLSHash:
+		if hint < 0 {
+			hint = avgFrontier(h)
+		}
+		for i := range workers {
+			workers[i].table = newOATable(hint, m)
+		}
+	}
+	for i, pos := range newUpperCaches(w, h.NumVertices()) {
+		workers[i].pos = pos
 	}
 
 	par.For(m, cfg.parOptions(), func(worker, i int) {
@@ -76,26 +185,37 @@ func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 			st.pruned++
 			return
 		}
-		if cfg.Store == TLSDense {
+		start := len(st.edges)
+		switch store {
+		case TLSDense:
 			hashmapIterDense(h, ei, s, st)
-		} else {
+		case TLSHash:
+			hashmapIterHash(h, ei, s, st)
+		default:
 			hashmapIterMap(h, ei, s, st)
 		}
+		// Keep the worker list (U, V)-sorted: both distribution
+		// strategies hand each worker strictly increasing ei, so
+		// sorting this iteration's segment by V is all it takes.
+		sortSegmentByV(st.edges[start:])
 	})
 
-	return collect(workers)
+	return collect(workers, cfg)
 }
 
 // hashmapIterMap processes one hyperedge with a per-iteration hashmap
 // (Lines 6-12 of Algorithm 2, dynamic allocation mode).
 func hashmapIterMap(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	overlap := make(map[uint32]uint32)
+	wedges := int64(0)
 	for _, vk := range h.EdgeVertices(ei) {
-		for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
-			st.wedges++
+		neighbors := upper(h, vk, ei, st.pos)
+		wedges += int64(len(neighbors))
+		for _, ej := range neighbors {
 			overlap[ej]++
 		}
 	}
+	st.wedges += wedges
 	for ej, n := range overlap {
 		if int(n) >= s {
 			st.edges = append(st.edges, Edge{U: ei, V: ej, W: n})
@@ -107,15 +227,18 @@ func hashmapIterMap(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 // dense counter (TLS mode).
 func hashmapIterDense(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	counts, touched := st.counts, st.touched[:0]
+	wedges := int64(0)
 	for _, vk := range h.EdgeVertices(ei) {
-		for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
-			st.wedges++
+		neighbors := upper(h, vk, ei, st.pos)
+		wedges += int64(len(neighbors))
+		for _, ej := range neighbors {
 			if counts[ej] == 0 {
 				touched = append(touched, ej)
 			}
 			counts[ej]++
 		}
 	}
+	st.wedges += wedges
 	for _, ej := range touched {
 		if int(counts[ej]) >= s {
 			st.edges = append(st.edges, Edge{U: ei, V: ej, W: counts[ej]})
@@ -125,7 +248,110 @@ func hashmapIterDense(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	st.touched = touched
 }
 
-func collect(workers []worker2) ([]Edge, Stats) {
+// hashmapIterHash processes one hyperedge with the pre-allocated
+// open-addressing counter table (TLS hash mode).
+func hashmapIterHash(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
+	t := st.table
+	wedges := int64(0)
+	for _, vk := range h.EdgeVertices(ei) {
+		neighbors := upper(h, vk, ei, st.pos)
+		wedges += int64(len(neighbors))
+		for _, ej := range neighbors {
+			t.incr(ej)
+		}
+	}
+	st.wedges += wedges
+	for _, slot := range t.touched {
+		if int(t.vals[slot]) >= s {
+			st.edges = append(st.edges, Edge{U: ei, V: st.keyAt(slot), W: t.vals[slot]})
+		}
+	}
+	t.reset()
+}
+
+func (st *worker2) keyAt(slot uint32) uint32 { return st.table.keys[slot] - 1 }
+
+// oaTable is a linear-probing uint32→uint32 counter table. Keys are
+// stored +1 so the zero word means empty, letting reset clear only the
+// touched slots. It replaces the per-iteration map allocation of
+// MapPerIteration with O(frontier) reuse.
+type oaTable struct {
+	keys    []uint32 // key+1; 0 = empty
+	vals    []uint32
+	mask    uint32
+	touched []uint32 // occupied slot indices, in first-touch order
+}
+
+// newOATable sizes the table for ~4× the estimated per-iteration
+// frontier, but never beyond 2·m slots: at load factor 0.5 that holds
+// every possible key (an iteration touches at most m hyperedges), so
+// growth stops there and a skewed frontier estimate cannot balloon the
+// initial allocation past what the keys could ever need.
+func newOATable(sizeHint int64, m int) *oaTable {
+	size := uint32(64)
+	for int64(size) < sizeHint*4 && int64(size) < 2*int64(m) && size < 1<<30 {
+		size <<= 1
+	}
+	return &oaTable{
+		keys: make([]uint32, size),
+		vals: make([]uint32, size),
+		mask: size - 1,
+	}
+}
+
+// incr adds one to the counter of key, inserting it at zero.
+func (t *oaTable) incr(key uint32) {
+	k := key + 1
+	slot := (key * 2654435761) & t.mask
+	for {
+		switch t.keys[slot] {
+		case k:
+			t.vals[slot]++
+			return
+		case 0:
+			if len(t.touched)*2 >= len(t.keys) {
+				t.grow()
+				slot = (key * 2654435761) & t.mask
+				continue
+			}
+			t.keys[slot] = k
+			t.vals[slot] = 1
+			t.touched = append(t.touched, slot)
+			return
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// grow doubles the table, rehashing the occupied slots.
+func (t *oaTable) grow() {
+	oldKeys, oldVals, oldTouched := t.keys, t.vals, t.touched
+	size := uint32(len(oldKeys)) << 1
+	t.keys = make([]uint32, size)
+	t.vals = make([]uint32, size)
+	t.mask = size - 1
+	t.touched = make([]uint32, 0, size/2)
+	for _, slot := range oldTouched {
+		k := oldKeys[slot]
+		ns := ((k - 1) * 2654435761) & t.mask
+		for t.keys[ns] != 0 {
+			ns = (ns + 1) & t.mask
+		}
+		t.keys[ns] = k
+		t.vals[ns] = oldVals[slot]
+		t.touched = append(t.touched, ns)
+	}
+}
+
+// reset clears the touched slots, leaving the table empty.
+func (t *oaTable) reset() {
+	for _, slot := range t.touched {
+		t.keys[slot] = 0
+	}
+	t.touched = t.touched[:0]
+}
+
+func collect(workers []worker2, cfg Config) ([]Edge, Stats) {
 	stats := Stats{WedgesPerWorker: make([]int64, len(workers))}
 	lists := make([][]Edge, len(workers))
 	for i := range workers {
@@ -134,7 +360,7 @@ func collect(workers []worker2) ([]Edge, Stats) {
 		stats.WedgesPerWorker[i] = workers[i].wedges
 		stats.Pruned += workers[i].pruned
 	}
-	edges := mergeWorkerEdges(lists)
+	edges := mergeWorkerEdges(lists, cfg.parOptions())
 	stats.Edges = int64(len(edges))
 	return edges, stats
 }

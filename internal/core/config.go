@@ -59,23 +59,40 @@ func (a Algorithm) String() string {
 type CounterStore uint8
 
 const (
+	// StoreAuto (the default) picks between TLSDense and TLSHash from
+	// the hypergraph's size and average 2-hop frontier: dense counters
+	// when the per-worker arrays are affordable or the frontier covers
+	// a large fraction of the hyperedge space, the open-addressing
+	// table otherwise. It never picks MapPerIteration — the
+	// per-iteration map allocation it models is strictly dominated.
+	StoreAuto CounterStore = iota
 	// MapPerIteration allocates a fresh hashmap for every hyperedge
-	// of the outer loop. Preferred for sparse overlap structure.
-	MapPerIteration CounterStore = iota
+	// of the outer loop — the paper's dynamic-allocation mode, kept as
+	// an explicit choice for the §III-F ablation.
+	MapPerIteration
 	// TLSDense uses a pre-allocated per-worker dense counter array
 	// plus a touched list, reset after each iteration. Preferred for
 	// hypergraphs with dense overlapping neighborhoods (the Web
 	// dataset regime).
 	TLSDense
+	// TLSHash uses a pre-allocated per-worker open-addressing
+	// uint32→uint32 hash table, reset via its touched list. Preferred
+	// when the hyperedge space is too large for per-worker dense
+	// arrays but each 2-hop frontier is small.
+	TLSHash
 )
 
 // String names the counter store.
 func (c CounterStore) String() string {
 	switch c {
+	case StoreAuto:
+		return "auto"
 	case MapPerIteration:
 		return "map"
 	case TLSDense:
 		return "tls-dense"
+	case TLSHash:
+		return "tls-hash"
 	default:
 		return "?"
 	}
@@ -83,7 +100,8 @@ func (c CounterStore) String() string {
 
 // Config selects an algorithm and its execution strategy. The zero
 // value means Algorithm 2, blocked distribution, no relabeling, default
-// grain, GOMAXPROCS workers, per-iteration maps — a sensible default.
+// grain, GOMAXPROCS workers, adaptive counter storage (StoreAuto) — a
+// sensible default.
 type Config struct {
 	// Algorithm is AlgoSetIntersection or AlgoHashmap (default
 	// AlgoHashmap).
@@ -99,7 +117,8 @@ type Config struct {
 	Workers int
 	// Grain is the blocked-chunk size (0 = par.DefaultGrain).
 	Grain int
-	// Store selects Algorithm 2's counter storage.
+	// Store selects Algorithm 2's counter storage (default StoreAuto:
+	// adaptively dense or open-addressing thread-local counters).
 	Store CounterStore
 	// DisablePruning turns off degree-based pruning (hyperedges of
 	// size < s can never be s-incident and are skipped by default).

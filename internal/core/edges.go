@@ -1,9 +1,10 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"hyperline/internal/graph"
+	"hyperline/internal/par"
 )
 
 // Edge is one s-line graph edge: hyperedges U < V are s-incident with
@@ -14,32 +15,102 @@ import (
 // overlaps.
 //
 // Edge is an alias of graph.Edge so s-overlap output feeds directly
-// into graph.Build (Stage 4).
+// into graph.BuildSorted (Stage 4).
 type Edge = graph.Edge
 
-// SortEdges orders edges by (U, V), which canonicalizes the
-// nondeterministic concatenation order of per-worker edge lists. U < V
-// holds for every emitted edge, so (U, V) is a unique key.
-func SortEdges(edges []Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
+// edgeLess is the canonical (U, V) order, shared with graph.Build's
+// sorted-check so the two layers can never disagree. U < V holds for
+// every emitted edge and each U is owned by exactly one worker, so
+// (U, V) is a unique key across all per-worker lists.
+func edgeLess(a, b Edge) bool { return graph.EdgeLess(a, b) }
+
+// edgeCmp adapts edgeLess for the slices package.
+func edgeCmp(a, b Edge) int {
+	if edgeLess(a, b) {
+		return -1
+	}
+	if edgeLess(b, a) {
+		return 1
+	}
+	return 0
 }
 
-// mergeWorkerEdges concatenates per-worker edge lists (the union step,
-// Line 13 of Algorithm 2) and sorts the result.
-func mergeWorkerEdges(lists [][]Edge) []Edge {
-	total := 0
-	for _, l := range lists {
-		total += len(l)
+// SortEdges orders edges by (U, V), which canonicalizes the
+// nondeterministic concatenation order of per-worker edge lists.
+func SortEdges(edges []Edge) {
+	slices.SortFunc(edges, edgeCmp)
+}
+
+// sortSegmentByV sorts one outer-iteration emission segment (constant
+// U) by V. This runs inside the hot counting loop, so it is a
+// hand-rolled quicksort with an insertion-sort base case: the V
+// comparisons inline, unlike the function-valued comparators of
+// sort.Slice / slices.SortFunc. V is unique within a segment, so no
+// equal-key handling is needed.
+func sortSegmentByV(seg []Edge) {
+	for len(seg) > 24 {
+		// Median-of-three pivot, then Hoare partition.
+		mid := len(seg) / 2
+		last := len(seg) - 1
+		if seg[mid].V < seg[0].V {
+			seg[mid], seg[0] = seg[0], seg[mid]
+		}
+		if seg[last].V < seg[0].V {
+			seg[last], seg[0] = seg[0], seg[last]
+		}
+		if seg[last].V < seg[mid].V {
+			seg[last], seg[mid] = seg[mid], seg[last]
+		}
+		pivot := seg[mid].V
+		i, j := 0, last
+		for {
+			for seg[i].V < pivot {
+				i++
+			}
+			for seg[j].V > pivot {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			seg[i], seg[j] = seg[j], seg[i]
+			i++
+			j--
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j+1 < len(seg)-j-1 {
+			sortSegmentByV(seg[:j+1])
+			seg = seg[j+1:]
+		} else {
+			sortSegmentByV(seg[j+1:])
+			seg = seg[:j+1]
+		}
 	}
-	out := make([]Edge, 0, total)
-	for _, l := range lists {
-		out = append(out, l...)
+	for i := 1; i < len(seg); i++ {
+		e := seg[i]
+		j := i - 1
+		for j >= 0 && seg[j].V > e.V {
+			seg[j+1] = seg[j]
+			j--
+		}
+		seg[j+1] = e
 	}
-	SortEdges(out)
-	return out
+}
+
+// mergeWorkerEdges is the union step (Line 13 of Algorithm 2), rebuilt
+// as a parallel multi-way merge: every worker keeps its list sorted by
+// (U, V) — both workload distributions hand each worker a monotonically
+// increasing hyperedge sequence and each iteration's segment is sorted
+// by V at emission — so the global order is recovered with an O(E log W)
+// partitioned merge instead of the seed's single-threaded O(E log E)
+// sort of the concatenation. A worker list that somehow lost the
+// invariant is re-sorted (in parallel) rather than corrupting the
+// output.
+func mergeWorkerEdges(lists [][]Edge, opt par.Options) []Edge {
+	par.For(len(lists), par.Options{Workers: opt.Workers, Grain: 1}, func(_, i int) {
+		if !slices.IsSortedFunc(lists[i], edgeCmp) {
+			par.Sort(lists[i], edgeLess, opt)
+		}
+	})
+	return par.MergeSorted(lists, edgeLess, opt)
 }

@@ -83,13 +83,16 @@ func EnsembleEdges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge,
 		s := distinct[k]
 		var edges []Edge
 		for i := 0; i < m; i++ {
+			start := len(edges)
 			for ej, n := range overlap[i] {
 				if int(n) >= s {
 					edges = append(edges, Edge{U: uint32(i), V: ej, W: n})
 				}
 			}
+			// i ascends, so per-i segment sorts by V keep the whole
+			// list (U, V)-sorted with no global sort.
+			sortSegmentByV(edges[start:])
 		}
-		SortEdges(edges)
 		lists[k] = edges
 	})
 	for k, s := range distinct {

@@ -17,11 +17,16 @@ import (
 func MaxOverlap(h *hg.Hypergraph, cfg Config) int {
 	m := h.NumEdges()
 	w := numWorkers(cfg)
-	maxPer := make([]uint32, w)
 	counts := make([][]uint32, w)
 	touched := make([][]uint32, w)
 
-	par.For(m, cfg.parOptions(), func(worker, i int) {
+	maxUint32 := func(a, b uint32) uint32 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	best := par.Reduce(m, cfg.parOptions(), uint32(0), func(worker, i int) uint32 {
 		if counts[worker] == nil {
 			counts[worker] = make([]uint32, m)
 		}
@@ -36,22 +41,15 @@ func MaxOverlap(h *hg.Hypergraph, cfg Config) int {
 				c[ej]++
 			}
 		}
-		best := maxPer[worker]
+		var iterBest uint32
 		for _, ej := range t {
-			if c[ej] > best {
-				best = c[ej]
+			if c[ej] > iterBest {
+				iterBest = c[ej]
 			}
 			c[ej] = 0
 		}
-		maxPer[worker] = best
 		touched[worker] = t
-	})
-
-	best := uint32(0)
-	for _, b := range maxPer {
-		if b > best {
-			best = b
-		}
-	}
+		return iterBest
+	}, maxUint32)
 	return int(best)
 }

@@ -88,7 +88,9 @@ func Run(h *hg.Hypergraph, s int, cfg PipelineConfig) *PipelineResult {
 	res.Stats = stats
 
 	t3 := time.Now()
-	g := graph.Build(work.NumEdges(), edges, !cfg.NoSqueeze)
+	// SLineEdges guarantees sorted, deduped, U < V output, so Stage 4
+	// takes the parallel zero-copy path.
+	g := graph.BuildSorted(work.NumEdges(), edges, !cfg.NoSqueeze, cfg.Core.parOptions())
 	res.Timings.Squeeze = time.Since(t3)
 	res.Graph = g
 
@@ -129,7 +131,8 @@ func RunEnsemble(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*P
 	out := make(map[int]*PipelineResult, len(lists))
 	for s, edges := range lists {
 		t3 := time.Now()
-		g := graph.Build(work.NumEdges(), edges, !cfg.NoSqueeze)
+		// EnsembleEdges emits each list sorted and deduped with U < V.
+		g := graph.BuildSorted(work.NumEdges(), edges, !cfg.NoSqueeze, cfg.Core.parOptions())
 		squeeze := time.Since(t3)
 		r := &PipelineResult{
 			S:     s,

@@ -6,6 +6,18 @@ package graph
 
 import "sort"
 
+// EdgeLess is the canonical (U, V) edge order used by Build's
+// sorted-check and fallback sort and by the s-overlap stage's worker
+// lists. W is deliberately not a tie-break: coalescing takes the
+// maximum weight of a duplicate group, so the result is identical
+// whether duplicates arrive sorted or not.
+func EdgeLess(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
 // Edge is one weighted undirected edge (U < V) produced by the
 // s-overlap stage; W is the overlap weight.
 type Edge struct {
@@ -46,20 +58,11 @@ func Build(numNodes int, edges []Edge, squeeze bool) *Graph {
 	// The s-overlap stage emits edges already sorted by (U, V); only
 	// pay for a sort when the caller hands us something else.
 	sorted := sort.SliceIsSorted(norm, func(i, j int) bool {
-		if norm[i].U != norm[j].U {
-			return norm[i].U < norm[j].U
-		}
-		return norm[i].V < norm[j].V
+		return EdgeLess(norm[i], norm[j])
 	})
 	if !sorted {
 		sort.Slice(norm, func(i, j int) bool {
-			if norm[i].U != norm[j].U {
-				return norm[i].U < norm[j].U
-			}
-			if norm[i].V != norm[j].V {
-				return norm[i].V < norm[j].V
-			}
-			return norm[i].W > norm[j].W
+			return EdgeLess(norm[i], norm[j])
 		})
 	}
 	// Coalesce duplicates in place (max weight wins).
