@@ -1,0 +1,90 @@
+// Command hyperlined is a long-running s-line-graph query server: it
+// keeps named hypergraph datasets in memory and serves s-line / s-clique
+// graph projections and s-measures over HTTP/JSON, with an LRU result
+// cache and singleflight deduplication so concurrent identical requests
+// run the five-stage pipeline once.
+//
+// Usage:
+//
+//	hyperlined [-addr :8080] [-cache 128] [-load name=path ...] [-warmup 1,2,3,4]
+//
+// Each -load registers a dataset at startup (format by extension:
+// ".pairs", ".bin", or adjacency lines); -warmup precomputes the given
+// s-sweep for every loaded dataset with one Algorithm 3 ensemble pass.
+//
+// Endpoints (see internal/serve.NewHandler):
+//
+//	curl -X PUT --data-binary @data.hgr 'localhost:8080/v1/datasets/web'
+//	curl 'localhost:8080/v1/datasets/web/slinegraph?s=4'
+//	curl 'localhost:8080/v1/datasets/web/components?s=4'
+//	curl 'localhost:8080/v1/cache'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyperline/internal/core"
+	"hyperline/internal/serve"
+)
+
+// loadFlags collects repeated -load name=path arguments.
+type loadFlags []struct{ name, path string }
+
+func (l *loadFlags) String() string { return fmt.Sprintf("%d datasets", len(*l)) }
+
+func (l *loadFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", serve.DefaultCacheEntries, "LRU capacity in cached pipeline results")
+	warmup := flag.String("warmup", "", "comma-separated s values to precompute for every loaded dataset")
+	var loads loadFlags
+	flag.Var(&loads, "load", "dataset to register at startup, as name=path (repeatable)")
+	flag.Parse()
+
+	svc := serve.New(serve.Config{CacheEntries: *cache})
+	for _, l := range loads {
+		if err := svc.Load(l.name, l.path); err != nil {
+			log.Fatalf("hyperlined: loading %s: %v", l.name, err)
+		}
+		stats, _ := svc.Stats(l.name)
+		log.Printf("loaded %v", stats)
+	}
+
+	if *warmup != "" {
+		var sweep []int
+		for _, f := range strings.Split(*warmup, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || s < 1 {
+				fmt.Fprintf(os.Stderr, "hyperlined: bad -warmup value %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, s)
+		}
+		for _, d := range svc.Datasets() {
+			n, _, err := svc.Warmup(d.Name, false, sweep, core.PipelineConfig{})
+			if err != nil {
+				log.Fatalf("hyperlined: warmup %s: %v", d.Name, err)
+			}
+			log.Printf("warmed %s: %d projections (s in %v)", d.Name, n, sweep)
+		}
+	}
+
+	log.Printf("hyperlined listening on %s (cache capacity %d)", *addr, *cache)
+	if err := http.ListenAndServe(*addr, serve.NewHandler(svc)); err != nil {
+		log.Fatal(err)
+	}
+}

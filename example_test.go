@@ -60,6 +60,31 @@ func ExampleSLineGraphEnsemble() {
 	// max overlap: 3
 }
 
+// ExampleSession queries one dataset at several s values through a
+// caching session: each distinct projection runs the pipeline once and
+// repeats are served from the LRU.
+func ExampleSession() {
+	sess := hyperline.NewSession(hyperline.SessionOptions{})
+	sess.Add("paper", hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6))
+	sess.Warmup("paper", []int{1, 2, 3}, hyperline.Options{})
+	for s := 1; s <= 3; s++ {
+		res, _ := sess.SLineGraph("paper", s, hyperline.Options{})
+		fmt.Printf("s=%d: %d edges\n", s, res.Graph.NumEdges())
+	}
+	res, _ := sess.SLineGraph("paper", 2, hyperline.Options{}) // cache hit
+	fmt.Println("components at s=2:", hyperline.SConnectedComponents(res).Count)
+	st := sess.CacheStats()
+	fmt.Println("cached projections:", st.Entries)
+	// Output:
+	// s=1: 4 edges
+	// s=2: 3 edges
+	// s=3: 2 edges
+	// components at s=2: 1
+	// cached projections: 3
+}
+
 // ExampleSConnectedComponentsDirect finds s-connected components
 // without materializing the line graph.
 func ExampleSConnectedComponentsDirect() {

@@ -22,7 +22,8 @@
 // graph (the materialized line graph), algo (s-measures), spectral
 // (normalized algebraic connectivity), toplex (Stage-2
 // simplification), spgemm (the SpGEMM baseline), gen (synthetic
-// dataset generators) and hgio (text I/O).
+// dataset generators), hgio (text and binary I/O) and serve (the
+// caching query layer behind Session and cmd/hyperlined).
 package hyperline
 
 import (
@@ -69,12 +70,14 @@ func FromEdgeSlices(edges [][]uint32, numVertices int) *Hypergraph {
 	return hg.FromEdgeSlices(edges, numVertices)
 }
 
-// Load reads a hypergraph from a text file (".pairs" for "edge vertex"
-// incidence pairs; otherwise one hyperedge per line).
+// Load reads a hypergraph from a file, selecting the format by
+// extension: ".pairs" for "edge vertex" incidence pairs, ".bin" for the
+// compact binary CSR dump, anything else (".hgr", ".adj", ".txt") for
+// one hyperedge per line.
 func Load(path string) (*Hypergraph, error) { return hgio.LoadFile(path) }
 
-// Save writes a hypergraph to a text file, choosing the format by
-// extension as in Load.
+// Save writes a hypergraph to a file, choosing the format by extension
+// as in Load.
 func Save(path string, h *Hypergraph) error { return hgio.SaveFile(path, h) }
 
 // ComputeStats derives Table IV-style statistics.

@@ -1,0 +1,25 @@
+package core
+
+import "fmt"
+
+// Fingerprint returns a canonical string identifying every
+// configuration field that can change the *output* of a pipeline run —
+// the cache key component used by the serving layer to decide whether
+// two requests may share a result.
+//
+// Output-relevant fields: the algorithm (Algorithm 1's short-circuited
+// weights differ from Algorithm 2's exact counts), relabel-by-degree
+// (it permutes the squeezed node ID space), toplex simplification,
+// squeezing, and exact-weight mode.
+//
+// Execution-only knobs — Workers, Grain, Partition, Store, and
+// DisablePruning — are deliberately excluded: the edge-assembly
+// pipeline guarantees byte-identical output for any worker count,
+// workload distribution, or counter store, and pruning only skips
+// hyperedges that cannot contribute edges. Requests that differ only in
+// those knobs therefore share a cache entry.
+func (c PipelineConfig) Fingerprint() string {
+	return fmt.Sprintf("alg=%s,relabel=%s,toplex=%t,squeeze=%t,exact=%t",
+		c.Core.algorithm(), c.Core.Relabel, c.Toplex, !c.NoSqueeze,
+		c.Core.DisableShortCircuit)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+)
+
+func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	base := PipelineConfig{}
+	variants := []PipelineConfig{
+		{Core: Config{Workers: 7}},
+		{Core: Config{Grain: 3}},
+		{Core: Config{Partition: par.Cyclic}},
+		{Core: Config{Store: TLSHash}},
+		{Core: Config{Store: MapPerIteration}},
+		{Core: Config{DisablePruning: true}},
+		{Core: Config{Algorithm: AlgoHashmap}}, // explicit default
+	}
+	for i, v := range variants {
+		if got, want := v.Fingerprint(), base.Fingerprint(); got != want {
+			t.Errorf("variant %d: fingerprint %q differs from base %q", i, got, want)
+		}
+	}
+}
+
+func TestFingerprintSeparatesOutputRelevantFields(t *testing.T) {
+	configs := []PipelineConfig{
+		{},
+		{Core: Config{Algorithm: AlgoSetIntersection}},
+		{Core: Config{Algorithm: AlgoSetIntersection, DisableShortCircuit: true}},
+		{Core: Config{Relabel: hg.RelabelAscending}},
+		{Core: Config{Relabel: hg.RelabelDescending}},
+		{Toplex: true},
+		{NoSqueeze: true},
+	}
+	seen := map[string]int{}
+	for i, c := range configs {
+		fp := c.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Errorf("configs %d and %d collide on fingerprint %q", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}

@@ -76,15 +76,15 @@ func ReadBinary(r io.Reader) (*hg.Hypergraph, error) {
 	if n > sanity || m > sanity || nnz > sanity {
 		return nil, fmt.Errorf("hgio: implausible header (n=%d m=%d nnz=%d)", n, m, nnz)
 	}
-	off := make([]uint64, m+1)
-	if err := binary.Read(br, binary.LittleEndian, off); err != nil {
+	off, err := readUint64s(br, m+1)
+	if err != nil {
 		return nil, fmt.Errorf("hgio: reading offsets: %w", err)
 	}
 	if off[0] != 0 || off[m] != nnz {
 		return nil, fmt.Errorf("hgio: corrupt offsets [%d..%d], want [0..%d]", off[0], off[m], nnz)
 	}
-	adj := make([]uint32, nnz)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+	adj, err := readUint32s(br, nnz)
+	if err != nil {
 		return nil, fmt.Errorf("hgio: reading adjacency: %w", err)
 	}
 	b := hg.NewBuilder(int(nnz))
@@ -104,6 +104,42 @@ func ReadBinary(r io.Reader) (*hg.Hypergraph, error) {
 		return nil, fmt.Errorf("hgio: %w", err)
 	}
 	return h, nil
+}
+
+// binaryReadChunk bounds how many elements a single binary.Read decodes
+// at once. Reading in chunks keeps allocation proportional to the bytes
+// actually present in the stream: a corrupt (or hostile) header claiming
+// astronomical counts fails with an EOF after one small chunk instead of
+// attempting one count-sized allocation up front. This matters now that
+// ReadBinary is reachable from network uploads, not just local files.
+const binaryReadChunk = 1 << 16
+
+// readUint64s reads n little-endian uint64 values in bounded chunks.
+func readUint64s(r io.Reader, n uint64) ([]uint64, error) {
+	out := make([]uint64, 0, min(n, binaryReadChunk))
+	buf := make([]uint64, binaryReadChunk)
+	for uint64(len(out)) < n {
+		c := min(n-uint64(len(out)), binaryReadChunk)
+		if err := binary.Read(r, binary.LittleEndian, buf[:c]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:c]...)
+	}
+	return out, nil
+}
+
+// readUint32s reads n little-endian uint32 values in bounded chunks.
+func readUint32s(r io.Reader, n uint64) ([]uint32, error) {
+	out := make([]uint32, 0, min(n, binaryReadChunk))
+	buf := make([]uint32, binaryReadChunk)
+	for uint64(len(out)) < n {
+		c := min(n-uint64(len(out)), binaryReadChunk)
+		if err := binary.Read(r, binary.LittleEndian, buf[:c]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:c]...)
+	}
+	return out, nil
 }
 
 // SaveBinary writes h to path in the binary format.

@@ -2,11 +2,13 @@ package hgio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"path/filepath"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"hyperline/internal/hg"
 )
@@ -76,6 +78,33 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	buf.Write([]byte{1, 2, 3})
 	if _, err := ReadBinary(&buf); err == nil {
 		t.Error("accepted truncated header")
+	}
+}
+
+// TestBinaryHugeHeaderFailsWithoutHugeAllocation feeds a tiny body
+// whose header claims counts just under the sanity bound: the chunked
+// readers must fail on EOF after a bounded allocation instead of
+// attempting a count-sized one (ReadBinary is reachable from network
+// uploads via hyperlined).
+func TestBinaryHugeHeaderFailsWithoutHugeAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	huge := uint64(1 << 39)
+	for _, v := range []uint64{huge, huge, huge} { // n, m, nnz
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("accepted a hostile header")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ReadBinary did not fail fast on a hostile header")
 	}
 }
 

@@ -1,8 +1,11 @@
-// Package hgio reads and writes hypergraphs as plain text, covering the
-// two common dataset encodings: incidence-pair lists ("edge vertex" per
-// line, as KONECT-style bipartite graphs are distributed) and adjacency
-// lists (one hyperedge per line, vertices space-separated, as Hygra and
-// hMETIS-style formats use).
+// Package hgio reads and writes hypergraphs in three formats: the two
+// common text encodings — incidence-pair lists ("edge vertex" per line,
+// as KONECT-style bipartite graphs are distributed) and adjacency lists
+// (one hyperedge per line, vertices space-separated, as Hygra and
+// hMETIS-style formats use) — plus a compact binary CSR dump for large
+// datasets where text parsing dominates load time. LoadFile and
+// SaveFile dispatch on the path extension (".pairs", ".bin", anything
+// else = adjacency).
 package hgio
 
 import (

@@ -94,7 +94,7 @@ func TestReadAdjacencyBadVertex(t *testing.T) {
 func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	h := paperExample()
-	for _, name := range []string{"h.pairs", "h.hgr"} {
+	for _, name := range []string{"h.pairs", "h.hgr", "h.bin"} {
 		path := filepath.Join(dir, name)
 		if err := SaveFile(path, h); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hyperline/internal/algo"
+	"hyperline/internal/core"
+	"hyperline/internal/hg"
+	"hyperline/internal/hgio"
+	"hyperline/internal/par"
+	"hyperline/internal/spectral"
+)
+
+// NewHandler returns the hyperlined HTTP/JSON API over svc:
+//
+//	GET    /healthz
+//	GET    /v1/cache
+//	GET    /v1/datasets
+//	PUT    /v1/datasets/{name}?format=adj|pairs|bin   (body = dataset)
+//	POST   /v1/datasets/{name}/load                   {"path": "..."}
+//	GET    /v1/datasets/{name}
+//	DELETE /v1/datasets/{name}
+//	POST   /v1/datasets/{name}/warmup                 {"s": [..], "dual": bool, ...}
+//	GET    /v1/datasets/{name}/slinegraph?s=N
+//	GET    /v1/datasets/{name}/scliquegraph?s=N
+//	GET    /v1/datasets/{name}/components?s=N
+//	GET    /v1/datasets/{name}/distances?s=N&source=H
+//	GET    /v1/datasets/{name}/centrality?s=N&kind=betweenness|closeness|harmonic|pagerank
+//	GET    /v1/datasets/{name}/connectivity?s=N
+//
+// Query/projection endpoints share the option parameters config (Table
+// III notation, e.g. 2BA), toplex, nosqueeze, exact, and workers;
+// measure endpoints additionally accept dual=true to run against the
+// s-clique graph.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.CacheStats())
+	})
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Datasets())
+	})
+	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		handleUpload(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/load", func(w http.ResponseWriter, r *http.Request) {
+		handleLoad(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		stats, err := svc.Stats(r.PathValue("name"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !svc.Remove(r.PathValue("name")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", r.PathValue("name")))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/warmup", func(w http.ResponseWriter, r *http.Request) {
+		handleWarmup(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/slinegraph", func(w http.ResponseWriter, r *http.Request) {
+		handleProjection(svc, w, r, false)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/scliquegraph", func(w http.ResponseWriter, r *http.Request) {
+		handleProjection(svc, w, r, true)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/components", func(w http.ResponseWriter, r *http.Request) {
+		handleMeasure(svc, w, r, measureComponents)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/distances", func(w http.ResponseWriter, r *http.Request) {
+		handleMeasure(svc, w, r, measureDistances)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/centrality", func(w http.ResponseWriter, r *http.Request) {
+		handleMeasure(svc, w, r, measureCentrality)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/connectivity", func(w http.ResponseWriter, r *http.Request) {
+		handleMeasure(svc, w, r, measureConnectivity)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// parseOptions builds a pipeline configuration from the shared query
+// parameters.
+func parseOptions(r *http.Request) (core.PipelineConfig, error) {
+	var cfg core.PipelineConfig
+	q := r.URL.Query()
+	if n := q.Get("config"); n != "" {
+		c, err := core.ParseNotation(n)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Core = c
+	}
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("serve: bad workers %q", ws)
+		}
+		cfg.Core.Workers = clampWorkers(n)
+	}
+	var err error
+	if cfg.Toplex, err = boolParam(q.Get("toplex")); err != nil {
+		return cfg, err
+	}
+	if cfg.NoSqueeze, err = boolParam(q.Get("nosqueeze")); err != nil {
+		return cfg, err
+	}
+	if cfg.Core.DisableShortCircuit, err = boolParam(q.Get("exact")); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// clampWorkers bounds a client-supplied worker count: values beyond
+// the machine's parallelism only cost memory (per-worker state is
+// allocated eagerly), and the output is identical for any count, so
+// capping is invisible to the client.
+func clampWorkers(n int) int {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
+}
+
+func boolParam(v string) (bool, error) {
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("serve: bad boolean %q", v)
+	}
+	return b, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// maxUploadBytes caps PUT dataset bodies; datasets beyond this should
+// be registered server-side via the /load endpoint.
+const maxUploadBytes = 4 << 30
+
+func handleUpload(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	format := r.URL.Query().Get("format")
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	var err error
+	var h *hg.Hypergraph
+	switch format {
+	case "", "adj":
+		h, err = hgio.ReadAdjacency(body)
+	case "pairs":
+		h, err = hgio.ReadPairs(body)
+	case "bin":
+		h, err = hgio.ReadBinary(body)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown format %q (want adj, pairs, or bin)", format))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	svc.Add(name, h)
+	stats, _ := svc.Stats(name)
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func handleLoad(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: body must be {\"path\": \"...\"}"))
+		return
+	}
+	if err := svc.Load(name, req.Path); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	stats, _ := svc.Stats(name)
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// The body accepts the same option set as the query endpoints, so a
+	// warmup can pre-seed exactly the keys those queries will look up.
+	var req struct {
+		S         []int  `json:"s"`
+		Dual      bool   `json:"dual"`
+		Config    string `json:"config"`
+		Toplex    bool   `json:"toplex"`
+		NoSqueeze bool   `json:"nosqueeze"`
+		Exact     bool   `json:"exact"`
+		Workers   int    `json:"workers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.S) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: body must be {\"s\": [..], ...}"))
+		return
+	}
+	var cfg core.PipelineConfig
+	if req.Config != "" {
+		c, err := core.ParseNotation(req.Config)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Core = c
+	}
+	cfg.Toplex = req.Toplex
+	cfg.NoSqueeze = req.NoSqueeze
+	cfg.Core.DisableShortCircuit = req.Exact
+	cfg.Core.Workers = clampWorkers(req.Workers)
+	start := time.Now()
+	computed, hot, err := svc.Warmup(name, req.Dual, req.S, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"computed":    computed,
+		"already_hot": hot,
+		"elapsed_ms":  float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// graphResponse serializes one projection.
+type graphResponse struct {
+	Dataset      string      `json:"dataset"`
+	S            int         `json:"s"`
+	Dual         bool        `json:"dual"`
+	Cached       bool        `json:"cached"`
+	Nodes        int         `json:"nodes"`
+	Edges        int         `json:"edges"`
+	HyperedgeIDs []uint32    `json:"hyperedge_ids,omitempty"`
+	EdgeList     [][3]uint32 `json:"edge_list,omitempty"`
+	TimingsMS    timingsJSON `json:"timings_ms"`
+}
+
+type timingsJSON struct {
+	Preprocess float64 `json:"preprocess"`
+	Toplex     float64 `json:"toplex"`
+	SOverlap   float64 `json:"soverlap"`
+	Squeeze    float64 `json:"squeeze"`
+	Total      float64 `json:"total"`
+}
+
+func toTimings(t core.StageTimings) timingsJSON {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return timingsJSON{
+		Preprocess: ms(t.Preprocess),
+		Toplex:     ms(t.Toplex),
+		SOverlap:   ms(t.SOverlap),
+		Squeeze:    ms(t.Squeeze),
+		Total:      ms(t.Total()),
+	}
+}
+
+func handleProjection(svc *Service, w http.ResponseWriter, r *http.Request, dual bool) {
+	name := r.PathValue("name")
+	sVal, err := intParam(r, "s", 0)
+	if err != nil || sVal < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: s must be a positive integer"))
+		return
+	}
+	cfg, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	includeEdges, err := boolParamDefault(r, "edges", true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *core.PipelineResult
+	var cached bool
+	if dual {
+		res, cached, err = svc.SCliqueGraph(name, sVal, cfg)
+	} else {
+		res, cached, err = svc.SLineGraph(name, sVal, cfg)
+	}
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := graphResponse{
+		Dataset:      name,
+		S:            sVal,
+		Dual:         dual,
+		Cached:       cached,
+		Nodes:        res.Graph.NumNodes(),
+		Edges:        res.Graph.NumEdges(),
+		HyperedgeIDs: res.HyperedgeIDs,
+		TimingsMS:    toTimings(res.Timings),
+	}
+	if includeEdges {
+		edges := res.Graph.Edges()
+		resp.EdgeList = make([][3]uint32, len(edges))
+		for i, e := range edges {
+			resp.EdgeList[i] = [3]uint32{e.U, e.V, e.W}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func boolParamDefault(r *http.Request, name string, def bool) (bool, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("serve: bad boolean %s=%q", name, v)
+	}
+	return b, nil
+}
+
+// measureFn computes one s-measure payload from a cached projection.
+type measureFn func(r *http.Request, res *core.PipelineResult, workers int) (any, error)
+
+func handleMeasure(svc *Service, w http.ResponseWriter, r *http.Request, fn measureFn) {
+	name := r.PathValue("name")
+	sVal, err := intParam(r, "s", 0)
+	if err != nil || sVal < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: s must be a positive integer"))
+		return
+	}
+	cfg, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dual, err := boolParam(r.URL.Query().Get("dual"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *core.PipelineResult
+	var cached bool
+	if dual {
+		res, cached, err = svc.SCliqueGraph(name, sVal, cfg)
+	} else {
+		res, cached, err = svc.SLineGraph(name, sVal, cfg)
+	}
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	payload, err := fn(r, res, cfg.Core.Workers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name,
+		"s":       sVal,
+		"dual":    dual,
+		"cached":  cached,
+		"result":  payload,
+	})
+}
+
+func measureComponents(_ *http.Request, res *core.PipelineResult, _ int) (any, error) {
+	cc := algo.ConnectedComponents(res.Graph)
+	members := cc.Members()
+	byHyperedge := make([][]uint32, len(members))
+	for i, ms := range members {
+		ids := make([]uint32, len(ms))
+		for j, u := range ms {
+			ids[j] = res.HyperedgeID(u)
+		}
+		byHyperedge[i] = ids
+	}
+	return map[string]any{"count": cc.Count, "members": byHyperedge}, nil
+}
+
+func measureDistances(r *http.Request, res *core.PipelineResult, _ int) (any, error) {
+	src, err := intParam(r, "source", -1)
+	if err != nil || src < 0 {
+		return nil, fmt.Errorf("serve: source must be a hyperedge ID")
+	}
+	node := -1
+	for u, id := range res.HyperedgeIDs {
+		if id == uint32(src) {
+			node = u
+			break
+		}
+	}
+	if node < 0 {
+		return nil, fmt.Errorf("serve: hyperedge %d has no node in this projection (no s-incident pair)", src)
+	}
+	return map[string]any{
+		"source":        src,
+		"hyperedge_ids": res.HyperedgeIDs,
+		"distances":     algo.BFSDistances(res.Graph, uint32(node)),
+	}, nil
+}
+
+func measureCentrality(r *http.Request, res *core.PipelineResult, workers int) (any, error) {
+	kind := r.URL.Query().Get("kind")
+	popt := par.Options{Workers: workers}
+	var scores []float64
+	switch kind {
+	case "", "betweenness":
+		kind = "betweenness"
+		scores = algo.Normalize(algo.Betweenness(res.Graph, popt))
+	case "closeness":
+		scores = algo.ClosenessCentrality(res.Graph, popt)
+	case "harmonic":
+		scores = algo.HarmonicCentrality(res.Graph, popt)
+	case "pagerank":
+		scores = algo.PageRank(res.Graph, algo.PageRankOptions{Par: popt})
+	default:
+		return nil, fmt.Errorf("serve: unknown centrality kind %q", kind)
+	}
+	return map[string]any{
+		"kind":          kind,
+		"hyperedge_ids": res.HyperedgeIDs,
+		"scores":        scores,
+	}, nil
+}
+
+func measureConnectivity(_ *http.Request, res *core.PipelineResult, _ int) (any, error) {
+	return map[string]any{
+		"normalized_algebraic_connectivity": spectral.NormalizedAlgebraicConnectivity(res.Graph, spectral.Options{}),
+	}, nil
+}

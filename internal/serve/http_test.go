@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hyperline/internal/core"
+	"hyperline/internal/hgio"
+)
+
+// paperAdjacency is the running example in adjacency format.
+const paperAdjacency = "0 1 2\n1 2 3\n0 1 2 3 4\n4 5\n"
+
+func newTestServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func do(t *testing.T, method, url string, body io.Reader, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+}
+
+func uploadPaper(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	do(t, http.MethodPut, ts.URL+"/v1/datasets/paper",
+		strings.NewReader(paperAdjacency), http.StatusOK, nil)
+}
+
+func TestHTTPHealthAndCache(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var health map[string]bool
+	do(t, http.MethodGet, ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if !health["ok"] {
+		t.Fatal("health endpoint not ok")
+	}
+	var stats CacheStats
+	do(t, http.MethodGet, ts.URL+"/v1/cache", nil, http.StatusOK, &stats)
+	if stats.Capacity != DefaultCacheEntries {
+		t.Fatalf("bad cache stats %+v", stats)
+	}
+}
+
+func TestHTTPUploadFormatsAndList(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// adjacency (default format)
+	uploadPaper(t, ts)
+	// pairs
+	pairs := "0 0\n0 1\n1 1\n1 2\n"
+	do(t, http.MethodPut, ts.URL+"/v1/datasets/p?format=pairs",
+		strings.NewReader(pairs), http.StatusOK, nil)
+	// binary
+	var bin bytes.Buffer
+	if err := hgio.WriteBinary(&bin, paperExample()); err != nil {
+		t.Fatal(err)
+	}
+	do(t, http.MethodPut, ts.URL+"/v1/datasets/b?format=bin", &bin, http.StatusOK, nil)
+	// bad format
+	do(t, http.MethodPut, ts.URL+"/v1/datasets/x?format=nope",
+		strings.NewReader(""), http.StatusBadRequest, nil)
+
+	var list []DatasetInfo
+	do(t, http.MethodGet, ts.URL+"/v1/datasets", nil, http.StatusOK, &list)
+	if len(list) != 3 {
+		t.Fatalf("want 3 datasets, got %+v", list)
+	}
+	var stats struct{ NumEdges int }
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper", nil, http.StatusOK, &stats)
+	if stats.NumEdges != 4 {
+		t.Fatalf("paper dataset has %d edges, want 4", stats.NumEdges)
+	}
+	do(t, http.MethodDelete, ts.URL+"/v1/datasets/p", nil, http.StatusOK, nil)
+	do(t, http.MethodDelete, ts.URL+"/v1/datasets/p", nil, http.StatusNotFound, nil)
+}
+
+func TestHTTPServerSideLoad(t *testing.T) {
+	ts, _ := newTestServer(t)
+	path := filepath.Join(t.TempDir(), "h.bin")
+	if err := hgio.SaveFile(path, paperExample()); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"path": %q}`, path)
+	var stats struct{ NumEdges int }
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/disk/load",
+		strings.NewReader(body), http.StatusOK, &stats)
+	if stats.NumEdges != 4 {
+		t.Fatalf("loaded dataset has %d edges, want 4", stats.NumEdges)
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/disk/load",
+		strings.NewReader(`{"path": "/no/such/file.hgr"}`), http.StatusBadRequest, nil)
+}
+
+type graphJSON struct {
+	Cached       bool        `json:"cached"`
+	Nodes        int         `json:"nodes"`
+	Edges        int         `json:"edges"`
+	HyperedgeIDs []uint32    `json:"hyperedge_ids"`
+	EdgeList     [][3]uint32 `json:"edge_list"`
+}
+
+func TestHTTPSLineGraphCachesAndMatchesLibrary(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+
+	var first, second graphJSON
+	url := ts.URL + "/v1/datasets/paper/slinegraph?s=2"
+	do(t, http.MethodGet, url, nil, http.StatusOK, &first)
+	do(t, http.MethodGet, url, nil, http.StatusOK, &second)
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached flags: first=%v second=%v, want false,true", first.Cached, second.Cached)
+	}
+
+	direct := core.Run(paperExample(), 2, core.PipelineConfig{})
+	wantEdges := make([][3]uint32, 0, direct.Graph.NumEdges())
+	for _, e := range direct.Graph.Edges() {
+		wantEdges = append(wantEdges, [3]uint32{e.U, e.V, e.W})
+	}
+	for _, got := range []graphJSON{first, second} {
+		if !reflect.DeepEqual(got.EdgeList, wantEdges) {
+			t.Fatalf("served edge list %v differs from library call %v", got.EdgeList, wantEdges)
+		}
+		if !reflect.DeepEqual(got.HyperedgeIDs, direct.HyperedgeIDs) {
+			t.Fatalf("served hyperedge IDs %v differ from library call %v", got.HyperedgeIDs, direct.HyperedgeIDs)
+		}
+	}
+
+	// edges=false omits the edge list but keeps the counts.
+	var lean graphJSON
+	do(t, http.MethodGet, url+"&edges=false", nil, http.StatusOK, &lean)
+	if lean.EdgeList != nil || lean.Edges != len(wantEdges) {
+		t.Fatalf("edges=false: got %+v", lean)
+	}
+
+	// Bad requests.
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph?s=0", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph?s=2&config=9ZZ", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/nope/slinegraph?s=2", nil, http.StatusNotFound, nil)
+}
+
+func TestHTTPSCliqueGraph(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+	var got graphJSON
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/scliquegraph?s=1&nosqueeze=true",
+		nil, http.StatusOK, &got)
+	direct := core.Run(paperExample().Dual(), 1, core.PipelineConfig{NoSqueeze: true})
+	if got.Edges != direct.Graph.NumEdges() || got.Nodes != direct.Graph.NumNodes() {
+		t.Fatalf("clique graph %+v differs from direct dual run (%d nodes %d edges)",
+			got, direct.Graph.NumNodes(), direct.Graph.NumEdges())
+	}
+}
+
+func TestHTTPWarmupThenHit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+	var warm struct {
+		Computed   int `json:"computed"`
+		AlreadyHot int `json:"already_hot"`
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": [1, 2, 3]}`), http.StatusOK, &warm)
+	if warm.Computed != 3 || warm.AlreadyHot != 0 {
+		t.Fatalf("warmup: %+v", warm)
+	}
+	var got graphJSON
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph?s=3", nil, http.StatusOK, &got)
+	if !got.Cached {
+		t.Fatal("query after warmup must be served from cache")
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{}`), http.StatusBadRequest, nil)
+
+	// A warmup with nosqueeze must pre-seed the nosqueeze query keys.
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": [2], "nosqueeze": true}`), http.StatusOK, &warm)
+	if warm.Computed != 1 {
+		t.Fatalf("nosqueeze warmup: %+v", warm)
+	}
+	var ns graphJSON
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph?s=2&nosqueeze=true",
+		nil, http.StatusOK, &ns)
+	if !ns.Cached {
+		t.Fatal("nosqueeze query after nosqueeze warmup must hit the cache")
+	}
+
+	// Duplicate s values are deduped, not misreported as hits.
+	ts2, _ := newTestServer(t)
+	uploadPaper(t, ts2)
+	do(t, http.MethodPost, ts2.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": [2, 2, 2]}`), http.StatusOK, &warm)
+	if warm.Computed != 1 || warm.AlreadyHot != 0 {
+		t.Fatalf("duplicate-s warmup on a cold cache: %+v", warm)
+	}
+}
+
+func TestHTTPMeasures(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+
+	var comp struct {
+		Cached bool `json:"cached"`
+		Result struct {
+			Count   int        `json:"count"`
+			Members [][]uint32 `json:"members"`
+		} `json:"result"`
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/components?s=2", nil, http.StatusOK, &comp)
+	// At s=2, hyperedges {0,1,2} form one component; hyperedge 3 has no
+	// 2-incident partner and is squeezed out.
+	if comp.Result.Count != 1 || !reflect.DeepEqual(comp.Result.Members, [][]uint32{{0, 1, 2}}) {
+		t.Fatalf("components: %+v", comp.Result)
+	}
+
+	var dist struct {
+		Result struct {
+			HyperedgeIDs []uint32 `json:"hyperedge_ids"`
+			Distances    []int32  `json:"distances"`
+		} `json:"result"`
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/distances?s=2&source=0", nil, http.StatusOK, &dist)
+	if !reflect.DeepEqual(dist.Result.Distances, []int32{0, 1, 1}) {
+		t.Fatalf("distances: %+v", dist.Result)
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/distances?s=2&source=3", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/distances?s=2", nil, http.StatusBadRequest, nil)
+
+	for _, kind := range []string{"betweenness", "closeness", "harmonic", "pagerank"} {
+		var cent struct {
+			Result struct {
+				Kind   string    `json:"kind"`
+				Scores []float64 `json:"scores"`
+			} `json:"result"`
+		}
+		do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/centrality?s=2&kind="+kind,
+			nil, http.StatusOK, &cent)
+		if cent.Result.Kind != kind || len(cent.Result.Scores) != 3 {
+			t.Fatalf("centrality %s: %+v", kind, cent.Result)
+		}
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/centrality?s=2&kind=nope", nil, http.StatusBadRequest, nil)
+
+	var conn struct {
+		Result struct {
+			Value float64 `json:"normalized_algebraic_connectivity"`
+		} `json:"result"`
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/connectivity?s=2", nil, http.StatusOK, &conn)
+	if conn.Result.Value <= 0 {
+		t.Fatalf("connectivity of a connected triangle must be positive, got %v", conn.Result.Value)
+	}
+
+	// dual measures work too
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/components?s=1&dual=true", nil, http.StatusOK, nil)
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/hgio"
+)
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name    string
+	Version uint64
+	Stats   hg.Stats
+}
+
+// dataset pairs an immutable hypergraph with a monotonically increasing
+// version. Replacing a dataset under the same name bumps the version,
+// which flows into every cache key derived from it — stale results are
+// never served, they simply age out of the LRU. Stats are computed once
+// at registration (they are immutable per version, and recomputing them
+// scans the whole hypergraph).
+type dataset struct {
+	h       *hg.Hypergraph
+	version uint64
+	stats   hg.Stats
+}
+
+// Registry is a thread-safe name → hypergraph table. Hypergraphs are
+// immutable once registered, so readers share them without copying.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]*dataset
+	nextVer uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*dataset)}
+}
+
+// Add registers h under name, replacing any previous dataset with that
+// name, and returns the assigned version.
+func (r *Registry) Add(name string, h *hg.Hypergraph) uint64 {
+	stats := hg.ComputeStats(name, h)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextVer++
+	r.byName[name] = &dataset{h: h, version: r.nextVer, stats: stats}
+	return r.nextVer
+}
+
+// Load reads a hypergraph from path (format by extension, as
+// hgio.LoadFile: ".pairs", ".bin", or adjacency lines) and registers it
+// under name.
+func (r *Registry) Load(name, path string) (uint64, error) {
+	h, err := hgio.LoadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return r.Add(name, h), nil
+}
+
+// Remove drops the named dataset, reporting whether it existed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byName[name]
+	delete(r.byName, name)
+	return ok
+}
+
+// Get returns the named hypergraph and its version.
+func (r *Registry) Get(name string) (*hg.Hypergraph, uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("serve: unknown dataset %q", name)
+	}
+	return d.h, d.version, nil
+}
+
+// Stats returns the registration-time statistics of the named dataset.
+func (r *Registry) Stats(name string) (hg.Stats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[name]
+	if !ok {
+		return hg.Stats{}, fmt.Errorf("serve: unknown dataset %q", name)
+	}
+	return d.stats, nil
+}
+
+// List returns all registered datasets sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.byName))
+	for name, d := range r.byName {
+		out = append(out, DatasetInfo{Name: name, Version: d.version, Stats: d.stats})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,189 @@
+// Package serve is the long-running query layer over the s-line graph
+// pipeline: a registry of named hypergraph datasets, an LRU cache of
+// pipeline results keyed by (dataset, version, orientation, s,
+// options-fingerprint), and singleflight deduplication so concurrent
+// identical requests run Stages 1-4 once and share one result.
+//
+// The paper treats s-line graphs as a multi-resolution family — the
+// applications repeatedly query the same hypergraph at many s values —
+// so the unit of caching is one materialized projection
+// (core.PipelineResult). Results are immutable by convention: every
+// cache reader receives the same pointer, and the s-measures of Stage 5
+// only read the graph. Warmup precomputes an s-sweep with Algorithm 3
+// (one counting pass for the whole ensemble) and seeds the cache with
+// results byte-identical to what per-s direct runs would produce.
+//
+// cmd/hyperlined exposes this package over HTTP/JSON; hyperline.Session
+// exposes it to library users.
+package serve
+
+import (
+	"fmt"
+
+	"hyperline/internal/core"
+	"hyperline/internal/hg"
+)
+
+// Config configures a Service.
+type Config struct {
+	// CacheEntries is the LRU capacity in cached pipeline results
+	// (0 = DefaultCacheEntries).
+	CacheEntries int
+}
+
+// Service ties the dataset registry, the result cache, and request
+// deduplication together. All methods are safe for concurrent use.
+type Service struct {
+	reg   *Registry
+	cache *Cache
+	sf    singleflight
+}
+
+// New returns an empty service.
+func New(cfg Config) *Service {
+	return &Service{
+		reg:   NewRegistry(),
+		cache: NewCache(cfg.CacheEntries),
+	}
+}
+
+// Add registers h under name, replacing any previous dataset with that
+// name (previously cached results for the old version become
+// unreachable and age out of the LRU).
+func (s *Service) Add(name string, h *hg.Hypergraph) { s.reg.Add(name, h) }
+
+// Load reads a hypergraph from path (format by extension, as
+// hgio.LoadFile) and registers it under name.
+func (s *Service) Load(name, path string) error {
+	_, err := s.reg.Load(name, path)
+	return err
+}
+
+// Remove drops the named dataset, reporting whether it existed.
+func (s *Service) Remove(name string) bool { return s.reg.Remove(name) }
+
+// Datasets lists the registered datasets sorted by name.
+func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
+
+// Stats returns Table IV-style statistics for the named dataset
+// (computed once at registration).
+func (s *Service) Stats(name string) (hg.Stats, error) {
+	return s.reg.Stats(name)
+}
+
+// Hypergraph returns the named hypergraph (shared, immutable).
+func (s *Service) Hypergraph(name string) (*hg.Hypergraph, error) {
+	h, _, err := s.reg.Get(name)
+	return h, err
+}
+
+// CacheStats snapshots the result cache counters.
+func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
+
+// key builds the cache key for one projection request. The dataset
+// version makes replaced datasets miss; the fingerprint folds in every
+// output-relevant option, so requests differing only in execution knobs
+// (workers, grain, partition, counter store) share an entry.
+func key(name string, version uint64, dual bool, sVal int, cfg core.PipelineConfig) string {
+	orient := "line"
+	if dual {
+		orient = "clique"
+	}
+	return fmt.Sprintf("%s@%d/%s/s=%d/%s", name, version, orient, sVal, cfg.Fingerprint())
+}
+
+// SLineGraph returns the s-line graph of the named dataset, serving
+// from the cache when possible. cached reports whether Stages 1-4 were
+// skipped (a cache hit, or a concurrent identical request's result was
+// shared via singleflight).
+func (s *Service) SLineGraph(name string, sVal int, cfg core.PipelineConfig) (res *core.PipelineResult, cached bool, err error) {
+	return s.project(name, false, sVal, cfg)
+}
+
+// SCliqueGraph returns the s-clique graph (the s-line graph of the dual
+// hypergraph) of the named dataset, serving from the cache when
+// possible.
+func (s *Service) SCliqueGraph(name string, sVal int, cfg core.PipelineConfig) (res *core.PipelineResult, cached bool, err error) {
+	return s.project(name, true, sVal, cfg)
+}
+
+func (s *Service) project(name string, dual bool, sVal int, cfg core.PipelineConfig) (*core.PipelineResult, bool, error) {
+	if sVal < 1 {
+		return nil, false, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
+	}
+	h, version, err := s.reg.Get(name)
+	if err != nil {
+		return nil, false, err
+	}
+	if dual {
+		h = h.Dual()
+	}
+	k := key(name, version, dual, sVal, cfg)
+	if res, ok := s.cache.Get(k); ok {
+		return res, true, nil
+	}
+	v, err, shared := s.sf.Do(k, func() (any, error) {
+		res := core.Run(h, sVal, cfg)
+		s.cache.Put(k, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*core.PipelineResult), shared, nil
+}
+
+// ensembleSafe reports whether Algorithm 3 produces edge lists
+// byte-identical to per-s core.Run calls under cfg: the ensemble counts
+// exact overlaps the way Algorithm 2 does, so it can stand in for it —
+// but not for Algorithm 1, whose short-circuited weights differ.
+func ensembleSafe(cfg core.PipelineConfig) bool {
+	return cfg.Core.Algorithm == 0 || cfg.Core.Algorithm == core.AlgoHashmap
+}
+
+// Warmup precomputes the s-sweep for the named dataset and seeds the
+// cache, so subsequent queries for any swept s are hits. Already-cached
+// s values are skipped. With Algorithm 2 configurations (the default)
+// the sweep runs as one Algorithm 3 ensemble — a single counting pass —
+// and falls back to per-s pipeline runs otherwise. It returns the
+// number of results computed and the number of distinct requested s
+// values that were already cached.
+func (s *Service) Warmup(name string, dual bool, sValues []int, cfg core.PipelineConfig) (computed, alreadyHot int, err error) {
+	h, version, err := s.reg.Get(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if dual {
+		h = h.Dual()
+	}
+	missing := make([]int, 0, len(sValues))
+	seen := map[int]bool{}
+	for _, sVal := range sValues {
+		if sVal < 1 {
+			return 0, 0, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
+		}
+		if seen[sVal] {
+			continue
+		}
+		seen[sVal] = true
+		if _, ok := s.cache.Get(key(name, version, dual, sVal, cfg)); !ok {
+			missing = append(missing, sVal)
+		}
+	}
+	alreadyHot = len(seen) - len(missing)
+	if len(missing) == 0 {
+		return 0, alreadyHot, nil
+	}
+	if !ensembleSafe(cfg) {
+		for _, sVal := range missing {
+			if _, _, err := s.project(name, dual, sVal, cfg); err != nil {
+				return 0, alreadyHot, err
+			}
+		}
+		return len(missing), alreadyHot, nil
+	}
+	for sVal, res := range core.RunEnsemble(h, missing, cfg) {
+		s.cache.Put(key(name, version, dual, sVal, cfg), res)
+	}
+	return len(missing), alreadyHot, nil
+}

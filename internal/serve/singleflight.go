@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight computation shared by concurrent callers.
+type call struct {
+	wg  sync.WaitGroup
+	val *callResult
+}
+
+type callResult struct {
+	v   any
+	err error
+}
+
+// singleflight deduplicates concurrent calls with the same key: the
+// first caller runs fn, later callers block and receive the same
+// result. A minimal in-tree version of golang.org/x/sync/singleflight
+// (no external dependency).
+type singleflight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// Do runs fn once per concurrent group of callers sharing key. shared
+// reports whether this caller received another caller's result instead
+// of computing its own.
+func (g *singleflight) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val.v, c.val.err, true
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	res := &callResult{}
+	c.val = res
+	// Run fn with panic containment: a panicking computation (e.g. an
+	// absurd parameter reaching an allocation) must still deregister the
+	// key and release waiters, or every later caller for this key would
+	// block forever. The panic is converted into an error delivered to
+	// the leader and all waiters alike.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.err = fmt.Errorf("serve: panic in singleflight call: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			c.wg.Done()
+		}()
+		res.v, res.err = fn()
+	}()
+	return res.v, res.err, false
+}

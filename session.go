@@ -1,0 +1,79 @@
+package hyperline
+
+import (
+	"hyperline/internal/serve"
+)
+
+// CacheStats is a snapshot of a Session's result-cache counters.
+type CacheStats = serve.CacheStats
+
+// DatasetInfo describes one dataset registered in a Session.
+type DatasetInfo = serve.DatasetInfo
+
+// SessionOptions configures a Session.
+type SessionOptions struct {
+	// CacheEntries is the LRU capacity in cached results (0 = 128).
+	CacheEntries int
+}
+
+// Session is a long-lived facade over the pipeline with a shared result
+// cache — the library-side counterpart of the hyperlined server. The
+// paper's applications query the same hypergraph at many s values;
+// a Session computes each distinct projection once and serves repeats
+// from an LRU keyed by (dataset, s, output-relevant options).
+// Concurrent identical requests are deduplicated: they run Stages 1-4
+// once and share the result. All methods are safe for concurrent use.
+//
+// Cached results are shared by reference and must be treated as
+// immutable, exactly like the return values of SLineGraph.
+type Session struct {
+	svc *serve.Service
+}
+
+// NewSession returns an empty session.
+func NewSession(opt SessionOptions) *Session {
+	return &Session{svc: serve.New(serve.Config{CacheEntries: opt.CacheEntries})}
+}
+
+// Add registers h under name, replacing any previous dataset with that
+// name (its cached results are invalidated).
+func (s *Session) Add(name string, h *Hypergraph) { s.svc.Add(name, h) }
+
+// Load reads a hypergraph from path (format by extension, as Load) and
+// registers it under name.
+func (s *Session) Load(name, path string) error { return s.svc.Load(name, path) }
+
+// Remove drops the named dataset, reporting whether it existed.
+func (s *Session) Remove(name string) bool { return s.svc.Remove(name) }
+
+// Datasets lists the registered datasets sorted by name.
+func (s *Session) Datasets() []DatasetInfo { return s.svc.Datasets() }
+
+// SLineGraph returns the s-line graph of the named dataset, computing
+// it at most once per (dataset, s, output-relevant options): repeats —
+// and requests differing only in execution knobs such as Workers or
+// Counters — are served from the cache.
+func (s *Session) SLineGraph(name string, sVal int, opt Options) (*Result, error) {
+	res, _, err := s.svc.SLineGraph(name, sVal, opt.pipeline())
+	return res, err
+}
+
+// SCliqueGraph returns the s-clique graph of the named dataset, cached
+// like SLineGraph.
+func (s *Session) SCliqueGraph(name string, sVal int, opt Options) (*Result, error) {
+	res, _, err := s.svc.SCliqueGraph(name, sVal, opt.pipeline())
+	return res, err
+}
+
+// Warmup precomputes the s-sweep for the named dataset with a single
+// Algorithm 3 counting pass (per-s runs for Algorithm 1 configurations)
+// and seeds the cache, so subsequent SLineGraph calls for any swept s
+// are hits. It returns the number of projections actually computed;
+// already-cached s values are skipped.
+func (s *Session) Warmup(name string, sValues []int, opt Options) (int, error) {
+	computed, _, err := s.svc.Warmup(name, false, sValues, opt.pipeline())
+	return computed, err
+}
+
+// CacheStats snapshots the session's result-cache counters.
+func (s *Session) CacheStats() CacheStats { return s.svc.CacheStats() }

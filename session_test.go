@@ -1,0 +1,118 @@
+package hyperline_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hyperline"
+)
+
+func sessionExample() *hyperline.Hypergraph {
+	return hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6)
+}
+
+func TestSessionCachesAcrossCalls(t *testing.T) {
+	sess := hyperline.NewSession(hyperline.SessionOptions{})
+	sess.Add("paper", sessionExample())
+
+	r1, err := sess.SLineGraph("paper", 2, hyperline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sess.SLineGraph("paper", 2, hyperline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("repeated query must return the cached result pointer")
+	}
+	direct := hyperline.SLineGraph(sessionExample(), 2, hyperline.Options{})
+	if !reflect.DeepEqual(r1.Graph.Edges(), direct.Graph.Edges()) {
+		t.Fatal("session result differs from direct SLineGraph call")
+	}
+	st := sess.CacheStats()
+	if st.Hits < 1 || st.Entries != 1 {
+		t.Fatalf("bad cache stats %+v", st)
+	}
+}
+
+func TestSessionConcurrentRequestsShareOneResult(t *testing.T) {
+	sess := hyperline.NewSession(hyperline.SessionOptions{})
+	sess.Add("paper", sessionExample())
+
+	const n = 16
+	results := make([]*hyperline.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := sess.SLineGraph("paper", 2, hyperline.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent identical requests must share one result")
+		}
+	}
+}
+
+func TestSessionWarmupAndClique(t *testing.T) {
+	sess := hyperline.NewSession(hyperline.SessionOptions{})
+	sess.Add("paper", sessionExample())
+
+	if n, err := sess.Warmup("paper", []int{1, 2, 3}, hyperline.Options{}); err != nil || n != 3 {
+		t.Fatalf("warmup: n=%d err=%v", n, err)
+	}
+	for s := 1; s <= 3; s++ {
+		res, err := sess.SLineGraph("paper", s, hyperline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := hyperline.SLineGraph(sessionExample(), s, hyperline.Options{})
+		if !reflect.DeepEqual(res.Graph.Edges(), direct.Graph.Edges()) {
+			t.Fatalf("s=%d: warmed result differs from direct call", s)
+		}
+	}
+
+	clique, err := sess.SCliqueGraph("paper", 1, hyperline.Options{NoSqueeze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hyperline.SCliqueGraph(sessionExample(), 1, hyperline.Options{NoSqueeze: true})
+	if !reflect.DeepEqual(clique.Graph.Edges(), want.Graph.Edges()) {
+		t.Fatal("session clique graph differs from direct call")
+	}
+}
+
+func TestSessionLoadAndList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.bin")
+	if err := hyperline.Save(path, sessionExample()); err != nil {
+		t.Fatal(err)
+	}
+	sess := hyperline.NewSession(hyperline.SessionOptions{})
+	if err := sess.Load("disk", path); err != nil {
+		t.Fatal(err)
+	}
+	list := sess.Datasets()
+	if len(list) != 1 || list[0].Name != "disk" || list[0].Stats.NumEdges != 4 {
+		t.Fatalf("bad listing %+v", list)
+	}
+	if _, err := sess.SLineGraph("missing", 2, hyperline.Options{}); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	if !sess.Remove("disk") {
+		t.Fatal("remove failed")
+	}
+}
