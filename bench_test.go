@@ -433,6 +433,46 @@ func nestedHypergraph() *hg.Hypergraph {
 	return nestedH
 }
 
+// ---- Batch engine: one planned multi-s pass vs pinned per-s runs ----
+
+// batchSweep is the multi-resolution s-sweep the batch benches request.
+var batchSweep = []int{2, 3, 4, 6, 8}
+
+// BenchmarkBatchSweepPlanner runs the sweep as one planner-driven
+// RunBatch call (the planner coalesces it into a single ensemble
+// counting pass on this dataset).
+func BenchmarkBatchSweepPlanner(b *testing.B) {
+	h := lj()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunBatch(h, batchSweep, core.PipelineConfig{})
+	}
+}
+
+// BenchmarkBatchSweepPinnedPerS runs the same sweep as independent
+// pinned Algorithm 2 pipeline runs — the pre-batching serving pattern.
+func BenchmarkBatchSweepPinnedPerS(b *testing.B) {
+	h := lj()
+	cfg := core.PipelineConfig{Core: core.Config{Algorithm: core.AlgoHashmap}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range batchSweep {
+			core.Run(h, s, cfg)
+		}
+	}
+}
+
+// BenchmarkBatchSweepSpGEMM drives the sweep through the promoted
+// SpGEMM strategy: one upper-triangle multiply shared by all s filters.
+func BenchmarkBatchSweepSpGEMM(b *testing.B) {
+	h := email()
+	cfg := core.PipelineConfig{Core: core.Config{Algorithm: core.AlgoSpGEMM}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunBatch(h, batchSweep, cfg)
+	}
+}
+
 // ---- Stage 4: defensive Build vs the parallel BuildSorted fast path ----
 
 var stage4Once sync.Once

@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	hyperlined [-addr :8080] [-cache 128] [-load name=path ...] [-warmup 1,2,3,4]
+//	hyperlined [-addr :8080] [-cache 128] [-load name=path ...] [-warmup 1:4]
 //
 // Each -load registers a dataset at startup (format by extension:
 // ".pairs", ".bin", or adjacency lines); -warmup precomputes the given
-// s-sweep for every loaded dataset with one Algorithm 3 ensemble pass.
+// s-sweep (a value, comma list, or lo:hi range, e.g. "1,4:8") for every
+// loaded dataset as one batched planner-driven pass.
 //
 // Endpoints (see internal/serve.NewHandler):
 //
@@ -26,7 +27,6 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 
 	"hyperline/internal/core"
@@ -65,14 +65,10 @@ func main() {
 	}
 
 	if *warmup != "" {
-		var sweep []int
-		for _, f := range strings.Split(*warmup, ",") {
-			s, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || s < 1 {
-				fmt.Fprintf(os.Stderr, "hyperlined: bad -warmup value %q\n", f)
-				os.Exit(2)
-			}
-			sweep = append(sweep, s)
+		sweep, err := core.ParseSValues(*warmup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyperlined: bad -warmup value: %v\n", err)
+			os.Exit(2)
 		}
 		for _, d := range svc.Datasets() {
 			n, _, err := svc.Warmup(d.Name, false, sweep, core.PipelineConfig{})

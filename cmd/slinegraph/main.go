@@ -1,15 +1,24 @@
 // Command slinegraph runs the end-to-end s-line graph framework on a
 // hypergraph file: preprocessing, optional toplex simplification, the
-// s-overlap computation, ID squeezing, and the requested s-measures.
+// planned s-overlap computation, ID squeezing, and the requested
+// s-measures.
 //
 // Usage:
 //
-//	slinegraph -in data.hgr -s 8 [-config 2BA] [-dual] [-toplex]
+//	slinegraph -in data.hgr -s 8 [-config auto] [-dual] [-toplex]
 //	           [-workers N] [-metrics cc,bc,pagerank,connectivity]
 //	           [-out edges.txt]
+//
+// -s accepts a single value ("8"), a comma-separated list ("1,2,5"),
+// an inclusive range ("2:6"), or any mix ("1,4:6"). Multi-s sweeps run
+// as one batched query: the planner decides whether a single ensemble
+// counting pass or per-s passes serve the sweep. -config takes the
+// extended Table III notation (e.g. 2BA, 1CN, ABN, SBN) or the words
+// "auto" (default: planner-chosen) and "spgemm".
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +33,13 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input hypergraph (.pairs or adjacency lines)")
-	sVal := flag.Int("s", 2, "minimum overlap s")
-	notation := flag.String("config", "2BA", "algorithm/partition/relabel notation (Table III)")
+	sSpec := flag.String("s", "2", "minimum overlap s: value, list, or lo:hi range (e.g. 8 or 1,4:6)")
+	notation := flag.String("config", "auto", "algorithm/partition/relabel notation (Table III, extended), or auto/spgemm")
 	dual := flag.Bool("dual", false, "compute the s-clique graph (dual hypergraph)")
 	toplex := flag.Bool("toplex", false, "simplify to toplexes first (Stage 2)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	metrics := flag.String("metrics", "cc", "comma-separated: cc, bc, pagerank, connectivity")
-	out := flag.String("out", "", "optionally write the s-line edge list here")
+	out := flag.String("out", "", "optionally write the s-line edge list(s) here (multi-s sweeps prefix each line with s)")
 	flag.Parse()
 
 	if *in == "" {
@@ -38,6 +47,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg, err := core.ParseNotation(*notation)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+		os.Exit(2)
+	}
+	sweep, err := core.ParseSValues(*sSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
 		os.Exit(2)
@@ -60,15 +74,58 @@ func main() {
 		Workers:   *workers,
 		Toplex:    *toplex,
 	}
-	res := hyperline.SLineGraph(h, *sVal, opt)
-	fmt.Printf("s=%d line graph: %d nodes, %d edges\n", *sVal, res.Graph.NumNodes(), res.Graph.NumEdges())
-	fmt.Printf("stages: preprocess=%v toplex=%v s-overlap=%v squeeze=%v total=%v\n",
-		res.Timings.Preprocess, res.Timings.Toplex, res.Timings.SOverlap,
-		res.Timings.Squeeze, res.Timings.Total())
-	fmt.Printf("work: wedges=%d set-intersections=%d pruned=%d\n",
-		res.Stats.Wedges, res.Stats.SetIntersections, res.Stats.Pruned)
+	results := hyperline.SLineGraphs(h, sweep, opt)
+	distinct := core.DistinctS(sweep)
 
-	for _, m := range strings.Split(*metrics, ",") {
+	var outFile *os.File
+	var outBuf *bufio.Writer
+	if *out != "" {
+		if outFile, err = os.Create(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+			os.Exit(1)
+		}
+		outBuf = bufio.NewWriter(outFile)
+	}
+
+	multi := len(distinct) > 1
+	for _, sVal := range distinct {
+		res := results[sVal]
+		fmt.Printf("s=%d line graph: %d nodes, %d edges\n", sVal, res.Graph.NumNodes(), res.Graph.NumEdges())
+		fmt.Printf("plan: %s (%s)\n", res.Plan.Strategy, res.Plan.Reason)
+		fmt.Printf("stages: preprocess=%v toplex=%v s-overlap=%v squeeze=%v total=%v\n",
+			res.Timings.Preprocess, res.Timings.Toplex, res.Timings.SOverlap,
+			res.Timings.Squeeze, res.Timings.Total())
+		fmt.Printf("work: wedges=%d set-intersections=%d pruned=%d\n",
+			res.Stats.Wedges, res.Stats.SetIntersections, res.Stats.Pruned)
+		if err := printMetrics(res, *metrics, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+			os.Exit(2)
+		}
+		if outBuf != nil {
+			for _, e := range res.Graph.Edges() {
+				if multi {
+					fmt.Fprintf(outBuf, "%d %d %d %d\n", sVal, res.HyperedgeID(e.U), res.HyperedgeID(e.V), e.W)
+				} else {
+					fmt.Fprintf(outBuf, "%d %d %d\n", res.HyperedgeID(e.U), res.HyperedgeID(e.V), e.W)
+				}
+			}
+		}
+	}
+	if outFile != nil {
+		if err := outBuf.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "slinegraph: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "slinegraph: closing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("edge list written to %s\n", *out)
+	}
+}
+
+func printMetrics(res *hyperline.Result, metrics string, workers int) error {
+	for _, m := range strings.Split(metrics, ",") {
 		switch strings.TrimSpace(m) {
 		case "", "none":
 		case "cc":
@@ -77,7 +134,7 @@ func main() {
 			fmt.Printf("s-connected components: %d (%v)\n", cc.Count, time.Since(t0))
 		case "bc":
 			t0 := time.Now()
-			bc := hyperline.NormalizeBetweenness(hyperline.SBetweenness(res, *workers))
+			bc := hyperline.NormalizeBetweenness(hyperline.SBetweenness(res, workers))
 			type sc struct {
 				id    uint32
 				score float64
@@ -93,7 +150,7 @@ func main() {
 			}
 		case "pagerank":
 			t0 := time.Now()
-			pr := hyperline.PageRank(res.Graph, *workers)
+			pr := hyperline.PageRank(res.Graph, workers)
 			best, bestScore := uint32(0), -1.0
 			for node, p := range pr {
 				if p > bestScore {
@@ -106,21 +163,8 @@ func main() {
 			lam := hyperline.NormalizedAlgebraicConnectivity(res.Graph)
 			fmt.Printf("normalized algebraic connectivity: %.6f (%v)\n", lam, time.Since(t0))
 		default:
-			fmt.Fprintf(os.Stderr, "slinegraph: unknown metric %q\n", m)
-			os.Exit(2)
+			return fmt.Errorf("unknown metric %q", m)
 		}
 	}
-
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		for _, e := range res.Graph.Edges() {
-			fmt.Fprintf(f, "%d %d %d\n", res.HyperedgeID(e.U), res.HyperedgeID(e.V), e.W)
-		}
-		fmt.Printf("edge list written to %s\n", *out)
-	}
+	return nil
 }

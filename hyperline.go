@@ -83,17 +83,28 @@ func Save(path string, h *Hypergraph) error { return hgio.SaveFile(path, h) }
 // ComputeStats derives Table IV-style statistics.
 func ComputeStats(name string, h *Hypergraph) Stats { return hg.ComputeStats(name, h) }
 
-// Algorithm selects the s-overlap algorithm.
+// Algorithm selects the s-overlap strategy.
 type Algorithm = core.Algorithm
 
-// The s-overlap algorithms of the paper.
+// The s-overlap strategies of the execution engine.
 const (
+	// AlgoAuto (the default) lets the cost-based planner choose the
+	// strategy from the hypergraph's statistics and the query shape.
+	// All planner-eligible strategies produce byte-identical
+	// exact-weight output, so the choice is invisible to callers.
+	AlgoAuto = core.AlgoAuto
 	// AlgoSetIntersection is Algorithm 1, the prior state-of-the-art
 	// set-intersection baseline (HiPC'21).
 	AlgoSetIntersection = core.AlgoSetIntersection
 	// AlgoHashmap is Algorithm 2, the paper's hashmap-based algorithm
-	// that performs no set intersections (the default).
+	// that performs no set intersections.
 	AlgoHashmap = core.AlgoHashmap
+	// AlgoEnsemble is Algorithm 3: one counting pass serving every
+	// requested s value.
+	AlgoEnsemble = core.AlgoEnsemble
+	// AlgoSpGEMM is the SpGEMM baseline promoted into the pipeline:
+	// upper-triangular Gustavson SpGEMM of L = HᵀH + s-filtration.
+	AlgoSpGEMM = core.AlgoSpGEMM
 )
 
 // Strategy selects the workload distribution (Table III "B"/"C").
@@ -134,10 +145,13 @@ const (
 )
 
 // Options configures an s-line graph computation. The zero value runs
-// Algorithm 2 with blocked distribution, no relabeling, ID squeezing
-// on, adaptive counter storage (StoreAuto), and GOMAXPROCS workers.
+// the planner-chosen strategy (AlgoAuto) with blocked distribution, no
+// relabeling, ID squeezing on, adaptive counter storage (StoreAuto),
+// and GOMAXPROCS workers.
 type Options struct {
-	// Algorithm: AlgoHashmap (default) or AlgoSetIntersection.
+	// Algorithm pins an s-overlap strategy (AlgoHashmap,
+	// AlgoSetIntersection, AlgoEnsemble, AlgoSpGEMM) or lets the
+	// cost-based planner choose (AlgoAuto, the default).
 	Algorithm Algorithm
 	// Partition: Blocked (default) or Cyclic workload distribution.
 	Partition Strategy
@@ -199,10 +213,27 @@ func SLineGraph(h *Hypergraph, s int, opt Options) *Result {
 	return core.Run(h, s, opt.pipeline())
 }
 
+// SLineGraphs computes the s-line graphs for every distinct s in
+// sValues as one batched, planner-driven query: preprocessing runs
+// once, and the planner decides whether a single ensemble counting pass
+// (Algorithm 3) or per-s passes serve the batch. The result maps each
+// distinct s (clamped to ≥ 1) to its projection; res.Plan records the
+// decision.
+func SLineGraphs(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
+	return core.RunBatch(h, sValues, opt.pipeline())
+}
+
+// SCliqueGraphs computes the s-clique graphs (s-line graphs of the dual
+// hypergraph) for every distinct s in sValues, batched like
+// SLineGraphs.
+func SCliqueGraphs(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
+	return core.RunBatch(h.Dual(), sValues, opt.pipeline())
+}
+
 // SLineGraphEnsemble computes an ensemble of s-line graphs for every
-// distinct s in sValues with a single counting pass (Algorithm 3).
-// More memory-intensive than repeated SLineGraph calls but counts each
-// wedge once.
+// distinct s in sValues with a single counting pass (Algorithm 3
+// pinned). Prefer SLineGraphs, which lets the planner fall back to
+// per-s passes when the ensemble's counter memory is unaffordable.
 func SLineGraphEnsemble(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
 	return core.RunEnsemble(h, sValues, opt.pipeline())
 }

@@ -93,11 +93,41 @@ func TestAlgorithmsAgreeViaFacade(t *testing.T) {
 	a1 := SLineGraph(h, 2, Options{Algorithm: AlgoSetIntersection, ExactWeights: true})
 	a2 := SLineGraph(h, 2, Options{Algorithm: AlgoHashmap})
 	a2t := SLineGraph(h, 2, Options{Algorithm: AlgoHashmap, TLSDenseCounters: true})
+	a3 := SLineGraph(h, 2, Options{Algorithm: AlgoEnsemble})
+	sp := SLineGraph(h, 2, Options{Algorithm: AlgoSpGEMM})
+	auto := SLineGraph(h, 2, Options{Algorithm: AlgoAuto})
 	if !reflect.DeepEqual(a1.Graph.Edges(), a2.Graph.Edges()) {
 		t.Fatal("algorithm 1 and 2 disagree")
 	}
 	if !reflect.DeepEqual(a2.Graph.Edges(), a2t.Graph.Edges()) {
 		t.Fatal("counter stores disagree")
+	}
+	for name, res := range map[string]*Result{"ensemble": a3, "spgemm": sp, "auto": auto} {
+		if !reflect.DeepEqual(res.Graph.Edges(), a2.Graph.Edges()) {
+			t.Fatalf("%s strategy disagrees with algorithm 2", name)
+		}
+	}
+	if auto.Plan.Strategy == "" {
+		t.Fatal("planner default must record its plan")
+	}
+}
+
+func TestSLineGraphsBatchMatchesSingles(t *testing.T) {
+	h := example()
+	batch := SLineGraphs(h, []int{1, 2, 3, 4}, Options{})
+	if len(batch) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(batch))
+	}
+	for s := 1; s <= 4; s++ {
+		single := SLineGraph(h, s, Options{})
+		if !reflect.DeepEqual(batch[s].Graph.Edges(), single.Graph.Edges()) {
+			t.Fatalf("s=%d: batch differs from single run", s)
+		}
+	}
+	cliques := SCliqueGraphs(h, []int{1, 2}, Options{NoSqueeze: true})
+	want := SCliqueGraph(h, 1, Options{NoSqueeze: true})
+	if !reflect.DeepEqual(cliques[1].Graph.Edges(), want.Graph.Edges()) {
+		t.Fatal("batched clique graphs differ from single run")
 	}
 }
 

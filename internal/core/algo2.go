@@ -9,9 +9,10 @@ import (
 
 // SLineEdges computes the edge list of the s-line graph Ls(H): one edge
 // {ei, ej} for every pair of hyperedges with inc(ei, ej) = |ei ∩ ej| ≥ s,
-// weighted by the overlap. The algorithm, workload distribution and
-// heuristics are selected by cfg; hyperedge IDs are used as given (apply
-// hg.Preprocess or run the Pipeline for relabel-by-degree).
+// weighted by the overlap. The strategy (planner-chosen for AlgoAuto),
+// workload distribution and heuristics are selected by cfg; hyperedge
+// IDs are used as given (apply hg.Preprocess or run the Pipeline for
+// relabel-by-degree).
 //
 // s must be ≥ 1. The returned edge list is sorted by (U, V), deduped
 // with U < V, and is deterministic for a given hypergraph regardless of
@@ -20,12 +21,9 @@ func SLineEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 	if s < 1 {
 		s = 1
 	}
-	switch cfg.algorithm() {
-	case AlgoSetIntersection:
-		return setIntersectionEdges(h, s, cfg)
-	default:
-		return hashmapEdges(h, s, cfg)
-	}
+	dec := planFor(h, []int{s}, cfg)
+	lists, stats := dec.Strategy.Edges(h, []int{s}, dec.Config)
+	return lists[s], stats
 }
 
 func numWorkers(cfg Config) int {

@@ -2,7 +2,10 @@
 // algorithms for computing high-order (s ≥ 1) line graphs of non-uniform
 // hypergraphs, and the five-stage framework around them.
 //
-// Three s-overlap algorithms are provided:
+// The s-overlap stage is a pluggable execution engine: every algorithm
+// implements the Strategy interface (sorted, deduped, deterministic
+// edge lists per s), and a cost-based planner (PlanQuery) picks the
+// strategy for AlgoAuto queries. Four strategies are registered:
 //
 //   - Algorithm 1 (SetIntersection): the prior state-of-the-art
 //     heuristic algorithm of Liu et al. (HiPC'21), which intersects the
@@ -16,39 +19,71 @@
 //   - Algorithm 3 (Ensemble): a variant of Algorithm 2 that stores all
 //     overlap counts once and then derives the s-line graph for every
 //     requested s value.
+//   - SpGEMM: the §VI-G baseline — upper-triangular Gustavson SpGEMM of
+//     L = HᵀH followed by s-filtration — promoted into the pipeline so
+//     its results flow through the same preprocessing, CSR build, and
+//     caching as the native algorithms.
 //
 // All algorithms parallelize the outer loop over hyperedges using the
 // blocked or cyclic workload distribution of internal/par and support
 // the relabel-by-degree orderings of internal/hg, giving the twelve
-// configurations of the paper's Table III (1BA ... 2CD).
+// configurations of the paper's Table III (1BA ... 2CD) plus the
+// extended "A" (auto) and "S" (SpGEMM) notations.
 package core
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"hyperline/internal/hg"
 	"hyperline/internal/par"
 )
 
-// Algorithm selects the s-overlap algorithm.
+// Algorithm selects the s-overlap strategy. The zero value, AlgoAuto,
+// lets the cost-based planner (PlanQuery) resolve the strategy from the
+// hypergraph's statistics and the query shape.
 type Algorithm uint8
 
 const (
+	// AlgoAuto (the default) defers the choice to the planner, which
+	// picks a strategy from the hypergraph statistics, the requested s
+	// values, and the query shape. Every strategy the planner may pick
+	// produces the same exact-weight output, so the choice is invisible
+	// to callers (and to the result cache).
+	AlgoAuto Algorithm = 0
 	// AlgoSetIntersection is Algorithm 1 of the paper (the HiPC'21
 	// heuristic baseline).
 	AlgoSetIntersection Algorithm = 1
 	// AlgoHashmap is Algorithm 2 of the paper (the new hashmap-based
 	// algorithm).
 	AlgoHashmap Algorithm = 2
+	// AlgoEnsemble is Algorithm 3 of the paper: Algorithm 2's counting
+	// pass decoupled from edge emission, serving every requested s from
+	// one materialized counter set.
+	AlgoEnsemble Algorithm = 3
+	// AlgoSpGEMM is the SpGEMM baseline of §VI-G, promoted into the
+	// pipeline: upper-triangular Gustavson SpGEMM of L = HᵀH followed
+	// by s-filtration.
+	AlgoSpGEMM Algorithm = 4
 )
 
-// String returns the numeral used in the paper's Table III notation.
+// String returns the character used in the (extended) Table III
+// notation: the paper's numerals for Algorithms 1-3, "A" for the
+// planner, "S" for SpGEMM.
 func (a Algorithm) String() string {
 	switch a {
+	case AlgoAuto:
+		return "A"
 	case AlgoSetIntersection:
 		return "1"
 	case AlgoHashmap:
 		return "2"
+	case AlgoEnsemble:
+		return "3"
+	case AlgoSpGEMM:
+		return "S"
 	default:
 		return "?"
 	}
@@ -99,12 +134,12 @@ func (c CounterStore) String() string {
 }
 
 // Config selects an algorithm and its execution strategy. The zero
-// value means Algorithm 2, blocked distribution, no relabeling, default
-// grain, GOMAXPROCS workers, adaptive counter storage (StoreAuto) — a
-// sensible default.
+// value means planner-chosen strategy (AlgoAuto), blocked distribution,
+// no relabeling, default grain, GOMAXPROCS workers, adaptive counter
+// storage (StoreAuto) — a sensible default.
 type Config struct {
-	// Algorithm is AlgoSetIntersection or AlgoHashmap (default
-	// AlgoHashmap).
+	// Algorithm pins an s-overlap strategy, or lets the planner choose
+	// (AlgoAuto, the default).
 	Algorithm Algorithm
 	// Partition is the workload distribution strategy (Blocked or
 	// Cyclic; Table III "B"/"C").
@@ -129,35 +164,43 @@ type Config struct {
 	DisableShortCircuit bool
 }
 
-func (c Config) algorithm() Algorithm {
-	if c.Algorithm == 0 {
-		return AlgoHashmap
-	}
-	return c.Algorithm
-}
-
 func (c Config) parOptions() par.Options {
 	return par.Options{Workers: c.Workers, Grain: c.Grain, Strategy: c.Partition}
 }
 
-// Notation returns the paper's Table III shorthand for this
+// Notation returns the (extended) Table III shorthand for this
 // configuration, e.g. "2BA" for Algorithm 2, blocked distribution,
-// relabel ascending.
+// relabel ascending, or "ABN" for the planner default.
 func (c Config) Notation() string {
-	return c.algorithm().String() + c.Partition.String() + c.Relabel.String()
+	return c.Algorithm.String() + c.Partition.String() + c.Relabel.String()
 }
 
-// ParseNotation parses a Table III shorthand such as "1CN" or "2BA".
+// ParseNotation parses a Table III shorthand such as "1CN" or "2BA",
+// extended with "3" (ensemble), "A" (planner/auto), and "S" (SpGEMM)
+// in the algorithm position. The bare words "auto" and "spgemm" are
+// accepted as shorthands with default partition and relabeling.
 func ParseNotation(s string) (Config, error) {
 	var c Config
+	switch s {
+	case "auto":
+		return Config{Algorithm: AlgoAuto}, nil
+	case "spgemm":
+		return Config{Algorithm: AlgoSpGEMM}, nil
+	}
 	if len(s) != 3 {
-		return c, fmt.Errorf("core: notation %q must have 3 characters", s)
+		return c, fmt.Errorf("core: notation %q must have 3 characters (or be \"auto\"/\"spgemm\")", s)
 	}
 	switch s[0] {
 	case '1':
 		c.Algorithm = AlgoSetIntersection
 	case '2':
 		c.Algorithm = AlgoHashmap
+	case '3':
+		c.Algorithm = AlgoEnsemble
+	case 'A':
+		c.Algorithm = AlgoAuto
+	case 'S':
+		c.Algorithm = AlgoSpGEMM
 	default:
 		return c, fmt.Errorf("core: unknown algorithm %q", s[0])
 	}
@@ -189,4 +232,86 @@ func AllNotations() []string {
 		"1BD", "1CD", "1BA", "1CA", "1BN", "1CN",
 		"2BN", "2CN", "2BA", "2CA", "2BD", "2CD",
 	}
+}
+
+// MaxSValues caps the total s values one batch specification may
+// expand to, bounding the work a single (possibly unauthenticated)
+// batch request can demand.
+const MaxSValues = 1024
+
+// ValidateSValues checks an explicit batch s-value list against the
+// rules ParseSValues enforces for specifications: non-empty, every
+// value ≥ 1, at most MaxSValues values. Serving-layer entry points
+// that accept raw lists share this with the string form so the two
+// cannot drift.
+func ValidateSValues(sValues []int) error {
+	if len(sValues) == 0 {
+		return fmt.Errorf("core: at least one s value is required")
+	}
+	if len(sValues) > MaxSValues {
+		return fmt.Errorf("core: more than %d s values in one request", MaxSValues)
+	}
+	for _, s := range sValues {
+		if s < 1 {
+			return fmt.Errorf("core: s must be >= 1, got %d", s)
+		}
+	}
+	return nil
+}
+
+// ParseSValues parses an s-value specification: a single value ("8"),
+// a comma-separated list ("1,2,5"), an inclusive range ("2:6"), or any
+// comma-separated mix of the two ("1,4:6,12"). Values must be ≥ 1 and
+// the whole specification may expand to at most 1024 values.
+func ParseSValues(spec string) ([]int, error) {
+	var out []int
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("core: empty s value in %q", spec)
+		}
+		lo, hi, isRange := strings.Cut(field, ":")
+		first, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil || first < 1 {
+			return nil, fmt.Errorf("core: bad s value %q (want integer >= 1)", field)
+		}
+		last := first
+		if isRange {
+			if last, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil || last < 1 {
+				return nil, fmt.Errorf("core: bad s range %q (want lo:hi with integers >= 1)", field)
+			}
+			if last < first {
+				return nil, fmt.Errorf("core: empty s range %q (hi < lo)", field)
+			}
+		}
+		if len(out)+(last-first+1) > MaxSValues {
+			return nil, fmt.Errorf("core: s specification %q expands to more than %d values", spec, MaxSValues)
+		}
+		for s := first; s <= last; s++ {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no s values in %q", spec)
+	}
+	return out, nil
+}
+
+// DistinctS returns the distinct s values of a query, clamped to ≥ 1
+// and sorted ascending — the canonical batch shape the planner and the
+// per-s strategies operate on.
+func DistinctS(sValues []int) []int {
+	seen := make(map[int]bool, len(sValues))
+	out := make([]int, 0, len(sValues))
+	for _, s := range sValues {
+		if s < 1 {
+			s = 1
+		}
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
 }

@@ -231,17 +231,86 @@ func TestNotationRoundTrip(t *testing.T) {
 	if len(AllNotations()) != 12 {
 		t.Fatalf("Table III has 12 configurations, got %d", len(AllNotations()))
 	}
-	for _, bad := range []string{"", "3BA", "2XA", "2BZ", "2B", "22BA"} {
+	for _, bad := range []string{"", "9BA", "2XA", "2BZ", "2B", "22BA", "AUTO", "Spgemm"} {
 		if _, err := ParseNotation(bad); err == nil {
 			t.Errorf("ParseNotation(%q) should fail", bad)
 		}
 	}
 }
 
+// TestExtendedNotations covers the engine's additions to the Table III
+// alphabet: Algorithm 3 ("3"), the planner ("A"), SpGEMM ("S"), and
+// the bare-word shorthands.
+func TestExtendedNotations(t *testing.T) {
+	for _, n := range []string{"3BA", "3CN", "ABN", "ACA", "SBN", "SCD"} {
+		cfg, err := ParseNotation(n)
+		if err != nil {
+			t.Fatalf("ParseNotation(%q): %v", n, err)
+		}
+		if got := cfg.Notation(); got != n {
+			t.Fatalf("round trip %q -> %q", n, got)
+		}
+	}
+	auto, err := ParseNotation("auto")
+	if err != nil || auto.Algorithm != AlgoAuto {
+		t.Fatalf("ParseNotation(auto) = %+v, %v", auto, err)
+	}
+	sg, err := ParseNotation("spgemm")
+	if err != nil || sg.Algorithm != AlgoSpGEMM {
+		t.Fatalf("ParseNotation(spgemm) = %+v, %v", sg, err)
+	}
+	// The words round-trip through the 3-character form.
+	for _, w := range []Config{auto, sg} {
+		back, err := ParseNotation(w.Notation())
+		if err != nil || back != w {
+			t.Fatalf("word notation %q does not round trip: %+v, %v", w.Notation(), back, err)
+		}
+	}
+}
+
 func TestDefaultConfigNotation(t *testing.T) {
 	var c Config
-	if got := c.Notation(); got != "2BN" {
-		t.Fatalf("zero Config notation = %q, want 2BN", got)
+	if got := c.Notation(); got != "ABN" {
+		t.Fatalf("zero Config notation = %q, want ABN (planner default)", got)
+	}
+}
+
+func TestParseSValues(t *testing.T) {
+	cases := map[string][]int{
+		"8":        {8},
+		"1,2,5":    {1, 2, 5},
+		"2:6":      {2, 3, 4, 5, 6},
+		"1,4:6,12": {1, 4, 5, 6, 12},
+		" 3 , 5 ":  {3, 5},
+	}
+	for spec, want := range cases {
+		got, err := ParseSValues(spec)
+		if err != nil {
+			t.Fatalf("ParseSValues(%q): %v", spec, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ParseSValues(%q) = %v, want %v", spec, got, want)
+		}
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "5:2", "2:", ":4", "1,,2", "1:999999",
+		// The expansion cap is a total across fields, not per range.
+		"1:1000,2000:3000"} {
+		if _, err := ParseSValues(bad); err == nil {
+			t.Errorf("ParseSValues(%q) should fail", bad)
+		}
+	}
+	if _, err := ParseSValues("1:1024"); err != nil {
+		t.Errorf("ParseSValues at the cap should succeed: %v", err)
+	}
+}
+
+func TestDistinctS(t *testing.T) {
+	got := DistinctS([]int{4, 2, 4, 0, -3, 2, 7})
+	if !reflect.DeepEqual(got, []int{1, 2, 4, 7}) {
+		t.Fatalf("DistinctS = %v, want [1 2 4 7]", got)
+	}
+	if len(DistinctS(nil)) != 0 {
+		t.Fatal("DistinctS(nil) should be empty")
 	}
 }
 

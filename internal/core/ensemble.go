@@ -7,95 +7,48 @@ import (
 
 // EnsembleEdges is Algorithm 3 of the paper: it computes the edge lists
 // of an ensemble of s-line graphs Ls(H) for every s in sValues with a
-// single counting pass. The counting step of Algorithm 2 is decoupled
-// from edge emission: all per-hyperedge overlap counters are
-// materialized first (keyed by the 2-hop neighbor ej > ei), then each
-// requested s filters the stored counts in parallel.
+// single counting pass, decoupling Algorithm 2's counting from edge
+// emission.
 //
-// As the paper notes (§VI-C), storing every overlap counter is
-// memory-intensive — O(total 2-hop neighborhood size) — which is why the
-// original implementation fails on large datasets. Degree-based pruning
-// uses the smallest requested s.
+// The stored-counter set is pruned at sMin, the smallest requested s:
+// a counter below sMin can never pass any requested filter, so the
+// materialization is exactly the sMin-line edge list with exact
+// weights — i.e. one Algorithm 2 pass at sMin, reusing its adaptive
+// thread-local counters and sort-free assembly. Each remaining s is
+// then a weight filtration (W ≥ s) of that list, which preserves the
+// sorted order; all s values filter in parallel.
 //
-// The result maps each s to its sorted edge list. Duplicate s values
-// are computed once.
+// As the paper notes (§VI-C), the materialization is memory-intensive
+// for small sMin — O(|E(L_sMin)|), the full 1-line graph in the worst
+// case — which is why the planner budgets it against the hypergraph's
+// wedge-pair count. Degree-based pruning uses sMin.
+//
+// The result maps each distinct s (clamped to ≥ 1) to its sorted edge
+// list. Duplicate s values are computed once.
 func EnsembleEdges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
-	stats := Stats{WedgesPerWorker: make([]int64, numWorkers(cfg))}
-	result := make(map[int][]Edge, len(sValues))
-	if len(sValues) == 0 {
-		return result, stats
+	distinct := DistinctS(sValues)
+	result := make(map[int][]Edge, len(distinct))
+	if len(distinct) == 0 {
+		return result, Stats{WedgesPerWorker: make([]int64, numWorkers(cfg))}
 	}
-	sMin := sValues[0]
-	for _, s := range sValues {
-		if s < sMin {
-			sMin = s
-		}
-	}
-	if sMin < 1 {
-		sMin = 1
-	}
+	sMin := distinct[0] // DistinctS sorts ascending
 
-	m := h.NumEdges()
-	w := numWorkers(cfg)
+	base, stats := hashmapEdges(h, sMin, cfg)
+	result[sMin] = base
 
-	// Counting pass (Lines 3-9 of Algorithm 3): overlap[ei] holds the
-	// counter map of hyperedge ei. Workers write disjoint slots, so no
-	// synchronization is needed.
-	overlap := make([]map[uint32]uint32, m)
-	wedgeStats := par.NewWorkerStats(w)
-	pruned := par.NewWorkerStats(w)
-	par.For(m, cfg.parOptions(), func(worker, i int) {
-		ei := uint32(i)
-		if !cfg.DisablePruning && h.EdgeSize(ei) < sMin {
-			pruned.Add(worker, 1)
-			return
-		}
-		counts := make(map[uint32]uint32)
-		for _, vk := range h.EdgeVertices(ei) {
-			for _, ej := range upperNeighbors(h.VertexEdges(vk), ei) {
-				wedgeStats.Add(worker, 1)
-				counts[ej]++
-			}
-		}
-		if len(counts) > 0 {
-			overlap[ei] = counts
-		}
-	})
-	stats.Wedges = wedgeStats.Total()
-	stats.WedgesPerWorker = wedgeStats.PerWorker()
-	stats.Pruned = pruned.Total()
-
-	// Filtering pass (Lines 10-15): one filter per distinct s value,
-	// all s values in parallel.
-	distinct := make([]int, 0, len(sValues))
-	seen := map[int]bool{}
-	for _, s := range sValues {
-		if s < 1 {
-			s = 1
-		}
-		if !seen[s] {
-			seen[s] = true
-			distinct = append(distinct, s)
-		}
-	}
-	lists := make([][]Edge, len(distinct))
-	par.For(len(distinct), par.Options{Workers: cfg.Workers}, func(_, k int) {
-		s := distinct[k]
+	rest := distinct[1:]
+	lists := make([][]Edge, len(rest))
+	par.For(len(rest), par.Options{Workers: cfg.Workers}, func(_, k int) {
+		s := rest[k]
 		var edges []Edge
-		for i := 0; i < m; i++ {
-			start := len(edges)
-			for ej, n := range overlap[i] {
-				if int(n) >= s {
-					edges = append(edges, Edge{U: uint32(i), V: ej, W: n})
-				}
+		for _, e := range base {
+			if int(e.W) >= s {
+				edges = append(edges, e)
 			}
-			// i ascends, so per-i segment sorts by V keep the whole
-			// list (U, V)-sorted with no global sort.
-			sortSegmentByV(edges[start:])
 		}
 		lists[k] = edges
 	})
-	for k, s := range distinct {
+	for k, s := range rest {
 		result[s] = lists[k]
 		stats.Edges += int64(len(lists[k]))
 	}

@@ -2,24 +2,33 @@ package core
 
 import "fmt"
 
-// Fingerprint returns a canonical string identifying every
-// configuration field that can change the *output* of a pipeline run —
-// the cache key component used by the serving layer to decide whether
-// two requests may share a result.
+// Fingerprint returns a canonical string identifying the *output class*
+// of a pipeline run — the cache key component used by the serving layer
+// to decide whether two requests may share a result.
 //
-// Output-relevant fields: the algorithm (Algorithm 1's short-circuited
-// weights differ from Algorithm 2's exact counts), relabel-by-degree
-// (it permutes the squeezed node ID space), toplex simplification,
-// squeezing, and exact-weight mode.
+// The key is canonicalized over output-equivalent configurations, not
+// over raw option values. Every strategy — Algorithm 2, the ensemble,
+// SpGEMM, the planner (AlgoAuto), and Algorithm 1 in exact mode
+// (DisableShortCircuit) — produces byte-identical sorted edge lists
+// with exact overlap weights, so they all share the "exact" class. The
+// single exception is Algorithm 1 with short-circuiting (its default),
+// whose weights are ≥ s bounds rather than exact counts: it gets its
+// own class.
 //
-// Execution-only knobs — Workers, Grain, Partition, Store, and
-// DisablePruning — are deliberately excluded: the edge-assembly
+// The remaining output-relevant fields are relabel-by-degree (it
+// permutes the squeezed node ID space), toplex simplification, and
+// squeezing. Execution-only knobs — Workers, Grain, Partition, Store,
+// and DisablePruning — are deliberately excluded: the edge-assembly
 // pipeline guarantees byte-identical output for any worker count,
 // workload distribution, or counter store, and pruning only skips
 // hyperedges that cannot contribute edges. Requests that differ only in
-// those knobs therefore share a cache entry.
+// those knobs (or only in which exact-class strategy computes them)
+// therefore share a cache entry.
 func (c PipelineConfig) Fingerprint() string {
-	return fmt.Sprintf("alg=%s,relabel=%s,toplex=%t,squeeze=%t,exact=%t",
-		c.Core.algorithm(), c.Core.Relabel, c.Toplex, !c.NoSqueeze,
-		c.Core.DisableShortCircuit)
+	class := "exact"
+	if c.Core.Algorithm == AlgoSetIntersection && !c.Core.DisableShortCircuit {
+		class = "shortcircuit"
+	}
+	return fmt.Sprintf("class=%s,relabel=%s,toplex=%t,squeeze=%t",
+		class, c.Core.Relabel, c.Toplex, !c.NoSqueeze)
 }

@@ -16,7 +16,6 @@ func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
 		{Core: Config{Store: TLSHash}},
 		{Core: Config{Store: MapPerIteration}},
 		{Core: Config{DisablePruning: true}},
-		{Core: Config{Algorithm: AlgoHashmap}}, // explicit default
 	}
 	for i, v := range variants {
 		if got, want := v.Fingerprint(), base.Fingerprint(); got != want {
@@ -25,11 +24,36 @@ func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
 	}
 }
 
+// TestFingerprintCanonicalizesOutputClass: every exact-weight strategy
+// produces byte-identical output, so requests pinning any of them —
+// including Algorithm 1 in exact mode — must share one cache entry with
+// the planner default.
+func TestFingerprintCanonicalizesOutputClass(t *testing.T) {
+	base := PipelineConfig{}
+	exactClass := []PipelineConfig{
+		{Core: Config{Algorithm: AlgoHashmap}},
+		{Core: Config{Algorithm: AlgoEnsemble}},
+		{Core: Config{Algorithm: AlgoSpGEMM}},
+		{Core: Config{Algorithm: AlgoSetIntersection, DisableShortCircuit: true}},
+		{Core: Config{Algorithm: AlgoHashmap, DisableShortCircuit: true}}, // no-op flag
+	}
+	for i, v := range exactClass {
+		if got, want := v.Fingerprint(), base.Fingerprint(); got != want {
+			t.Errorf("exact-class variant %d: fingerprint %q differs from base %q", i, got, want)
+		}
+	}
+	// Short-circuited Algorithm 1 is the one genuinely different output
+	// class: weights are ≥ s bounds, not exact counts.
+	sc := PipelineConfig{Core: Config{Algorithm: AlgoSetIntersection}}
+	if sc.Fingerprint() == base.Fingerprint() {
+		t.Error("short-circuited Algorithm 1 must not share the exact-class fingerprint")
+	}
+}
+
 func TestFingerprintSeparatesOutputRelevantFields(t *testing.T) {
 	configs := []PipelineConfig{
 		{},
 		{Core: Config{Algorithm: AlgoSetIntersection}},
-		{Core: Config{Algorithm: AlgoSetIntersection, DisableShortCircuit: true}},
 		{Core: Config{Relabel: hg.RelabelAscending}},
 		{Core: Config{Relabel: hg.RelabelDescending}},
 		{Toplex: true},

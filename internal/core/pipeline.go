@@ -11,8 +11,9 @@ import (
 // PipelineConfig configures an end-to-end run of the paper's five-stage
 // s-line graph framework (§IV).
 type PipelineConfig struct {
-	// Core selects the s-overlap algorithm and execution strategy;
-	// Core.Relabel drives Stage 1's relabel-by-degree.
+	// Core selects the s-overlap strategy (or the planner, AlgoAuto)
+	// and execution knobs; Core.Relabel drives Stage 1's
+	// relabel-by-degree.
 	Core Config
 	// Toplex enables Stage 2: simplify the hypergraph to its
 	// toplexes before computing s-overlaps.
@@ -36,9 +37,16 @@ func (t StageTimings) Total() time.Duration {
 	return t.Preprocess + t.Toplex + t.SOverlap + t.Squeeze
 }
 
+// PlanInfo records which strategy the planner executed for a pipeline
+// run and why — the serving layer surfaces it for observability.
+type PlanInfo struct {
+	Strategy string
+	Reason   string
+}
+
 // PipelineResult is the output of a pipeline run: the s-line graph with
 // node IDs mapped back to the input hypergraph's hyperedge IDs, plus
-// work statistics and per-stage timings.
+// work statistics, per-stage timings, and the executed plan.
 type PipelineResult struct {
 	S     int
 	Graph *graph.Graph
@@ -48,6 +56,7 @@ type PipelineResult struct {
 	HyperedgeIDs []uint32
 	Stats        Stats
 	Timings      StageTimings
+	Plan         PlanInfo
 }
 
 // HyperedgeID returns the input-hypergraph hyperedge represented by a
@@ -56,100 +65,102 @@ func (r *PipelineResult) HyperedgeID(node uint32) uint32 {
 	return r.HyperedgeIDs[node]
 }
 
-// Run executes Stages 1-4 of the framework on h for the given s:
-// preprocessing (with relabel-by-degree), optional toplex
-// simplification, the s-overlap computation, and ID squeezing / graph
-// construction. Stage 5 (s-measure computation) is performed by the
-// caller on the returned graph — any standard graph algorithm applies.
-func Run(h *hg.Hypergraph, s int, cfg PipelineConfig) *PipelineResult {
-	res := &PipelineResult{S: s}
-
-	t0 := time.Now()
-	pre := hg.Preprocess(h, cfg.Core.Relabel)
-	res.Timings.Preprocess = time.Since(t0)
-	work := pre.H
-	edgeOrig := pre.EdgeOrig
-
-	if cfg.Toplex {
-		t1 := time.Now()
-		simplified, keep := toplex.Simplify(work)
-		res.Timings.Toplex = time.Since(t1)
-		work = simplified
-		remapped := make([]uint32, len(keep))
-		for newE, midE := range keep {
-			remapped[newE] = edgeOrig[midE]
-		}
-		edgeOrig = remapped
-	}
-
-	t2 := time.Now()
-	edges, stats := SLineEdges(work, s, cfg.Core)
-	res.Timings.SOverlap = time.Since(t2)
-	res.Stats = stats
-
-	t3 := time.Now()
-	// SLineEdges guarantees sorted, deduped, U < V output, so Stage 4
-	// takes the parallel zero-copy path.
-	g := graph.BuildSorted(work.NumEdges(), edges, !cfg.NoSqueeze, cfg.Core.parOptions())
-	res.Timings.Squeeze = time.Since(t3)
-	res.Graph = g
-
-	res.HyperedgeIDs = make([]uint32, g.NumNodes())
-	for node := 0; node < g.NumNodes(); node++ {
-		res.HyperedgeIDs[node] = edgeOrig[g.OrigID(uint32(node))]
-	}
-	return res
+// prepared is the Stage 1-2 output shared by every s of a batch.
+type prepared struct {
+	work     *hg.Hypergraph
+	edgeOrig []uint32
+	preTime  time.Duration
+	topTime  time.Duration
 }
 
-// RunEnsemble executes the pipeline with Algorithm 3, producing one
-// result per distinct s value. Stage timings on each result share the
-// pipeline-wide preprocessing/overlap costs; squeeze time is per s.
-func RunEnsemble(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*PipelineResult {
+// prepare runs Stage 1 (preprocess + relabel) and Stage 2 (optional
+// toplex simplification) once for a whole query.
+func prepare(h *hg.Hypergraph, cfg PipelineConfig) prepared {
 	t0 := time.Now()
 	pre := hg.Preprocess(h, cfg.Core.Relabel)
-	preTime := time.Since(t0)
-	work := pre.H
-	edgeOrig := pre.EdgeOrig
+	p := prepared{work: pre.H, edgeOrig: pre.EdgeOrig, preTime: time.Since(t0)}
 
-	var topTime time.Duration
 	if cfg.Toplex {
 		t1 := time.Now()
-		simplified, keep := toplex.Simplify(work)
-		topTime = time.Since(t1)
-		work = simplified
+		simplified, keep := toplex.Simplify(p.work)
+		p.topTime = time.Since(t1)
+		p.work = simplified
 		remapped := make([]uint32, len(keep))
 		for newE, midE := range keep {
-			remapped[newE] = edgeOrig[midE]
+			remapped[newE] = p.edgeOrig[midE]
 		}
-		edgeOrig = remapped
+		p.edgeOrig = remapped
 	}
+	return p
+}
 
+// RunBatch executes Stages 1-4 for every distinct s in sValues (clamped
+// to ≥ 1) as one planned query: preprocessing and toplex simplification
+// run once, the planner resolves the s-overlap strategy from the
+// prepared hypergraph's statistics and the batch shape, and Stage 4
+// builds one graph per s. The result maps each distinct clamped s to
+// its projection.
+//
+// Stage timings on each result share the pipeline-wide preprocessing
+// and s-overlap costs; squeeze time is per s. Stats are aggregated
+// across the batch (multi-s strategies may share one counting pass).
+func RunBatch(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*PipelineResult {
+	out := map[int]*PipelineResult{}
+	if len(sValues) == 0 {
+		return out
+	}
+	p := prepare(h, cfg)
+
+	dec := planFor(p.work, sValues, cfg.Core)
 	t2 := time.Now()
-	lists, stats := EnsembleEdges(work, sValues, cfg.Core)
+	lists, stats := dec.Strategy.Edges(p.work, sValues, dec.Config)
 	overlapTime := time.Since(t2)
 
-	out := make(map[int]*PipelineResult, len(lists))
 	for s, edges := range lists {
 		t3 := time.Now()
-		// EnsembleEdges emits each list sorted and deduped with U < V.
-		g := graph.BuildSorted(work.NumEdges(), edges, !cfg.NoSqueeze, cfg.Core.parOptions())
+		// Every registered strategy emits each list sorted and deduped
+		// with U < V, so Stage 4 takes the parallel zero-copy path.
+		g := graph.BuildSorted(p.work.NumEdges(), edges, !cfg.NoSqueeze, cfg.Core.parOptions())
 		squeeze := time.Since(t3)
 		r := &PipelineResult{
 			S:     s,
 			Graph: g,
 			Stats: stats,
 			Timings: StageTimings{
-				Preprocess: preTime,
-				Toplex:     topTime,
+				Preprocess: p.preTime,
+				Toplex:     p.topTime,
 				SOverlap:   overlapTime,
 				Squeeze:    squeeze,
 			},
+			Plan: dec.Info(),
 		}
 		r.HyperedgeIDs = make([]uint32, g.NumNodes())
 		for node := 0; node < g.NumNodes(); node++ {
-			r.HyperedgeIDs[node] = edgeOrig[g.OrigID(uint32(node))]
+			r.HyperedgeIDs[node] = p.edgeOrig[g.OrigID(uint32(node))]
 		}
 		out[s] = r
 	}
 	return out
+}
+
+// Run executes Stages 1-4 of the framework on h for a single s:
+// preprocessing (with relabel-by-degree), optional toplex
+// simplification, the planned s-overlap computation, and ID squeezing /
+// graph construction. Stage 5 (s-measure computation) is performed by
+// the caller on the returned graph — any standard graph algorithm
+// applies.
+func Run(h *hg.Hypergraph, s int, cfg PipelineConfig) *PipelineResult {
+	if s < 1 {
+		s = 1
+	}
+	return RunBatch(h, []int{s}, cfg)[s]
+}
+
+// RunEnsemble executes the pipeline with Algorithm 3 pinned, producing
+// one result per distinct s value from a single counting pass. Use
+// RunBatch for the planner-driven default, which picks the ensemble
+// only when its counter memory is affordable.
+func RunEnsemble(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*PipelineResult {
+	cfg.Core.Algorithm = AlgoEnsemble
+	return RunBatch(h, sValues, cfg)
 }

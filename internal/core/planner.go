@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperline/internal/hg"
+)
+
+// Planner cost-model constants. The planner reasons in bytes because
+// the regime boundaries the paper observes (§VI-C, §VI-G) are memory
+// cliffs, not instruction-count crossovers: Algorithm 3 materializes
+// one counter per wedge pair, and SpGEMM materializes the product.
+const (
+	// ensembleBytesPerCounter is the cost of one materialized overlap
+	// counter in Algorithm 3's pruned counter set (one Edge: U, V, W).
+	ensembleBytesPerCounter = 12
+	// ensembleCounterBudget caps the memory the planner will let
+	// Algorithm 3 spend on materialized counters before falling back
+	// to per-s Algorithm 2 passes.
+	ensembleCounterBudget = 2 << 30
+	// spgemmMinEdges is the smallest hyperedge count for which the
+	// planner considers SpGEMM: below it, any strategy finishes in
+	// microseconds and the hashmap default keeps work counters
+	// meaningful.
+	spgemmMinEdges = 1024
+	// spgemmBytesPerEntry is the CSR cost of one stored product entry
+	// (column + value).
+	spgemmBytesPerEntry = 8
+	// spgemmProductBudget caps the materialized upper-triangle product.
+	spgemmProductBudget = 1 << 30
+)
+
+// Decision is the planner's resolved execution plan for one query: the
+// strategy to run, the configuration to run it with (Algorithm pinned
+// to the strategy's tag), and the reason, for observability.
+type Decision struct {
+	Strategy Strategy
+	Config   Config
+	Reason   string
+}
+
+// Info condenses the decision into the pipeline-result form.
+func (d Decision) Info() PlanInfo {
+	return PlanInfo{Strategy: d.Strategy.Name(), Reason: d.Reason}
+}
+
+// PlanQuery resolves the strategy for one query from the hypergraph's
+// statistics (st), the requested s values, and cfg.
+//
+// Pinned algorithms (cfg.Algorithm != AlgoAuto) are honored, with one
+// exception: a batched AlgoHashmap query whose counter memory fits the
+// budget is coalesced into a single ensemble pass, which produces
+// byte-identical output for a fraction of the counting work. Algorithm
+// 1 batches always run per s — its short-circuited weights depend on s
+// and no other strategy can reproduce them.
+//
+// For AlgoAuto the planner only chooses among exact-weight strategies
+// (Algorithm 2, Algorithm 3, SpGEMM), so the output — and therefore the
+// cache fingerprint — is independent of the decision:
+//
+//   - multi-s batches run as one ensemble counting pass when the
+//     estimated counter memory (st.WedgePairs) fits the budget, and as
+//     per-s hashmap passes otherwise;
+//   - s = 1 queries on dense hypergraphs (the line graph is at least
+//     half-complete) route to SpGEMM: at s = 1 the on-the-fly filter
+//     discards nothing, so Algorithm 2's store-nothing advantage
+//     vanishes and the simpler multiply kernel wins;
+//   - everything else takes Algorithm 2, whose wedge-linear cost is
+//     the floor among exact strategies. Algorithm 1 is never chosen:
+//     exact mode performs the same wedge traversal plus the
+//     intersections, and short-circuit mode changes the output class.
+func PlanQuery(st hg.Stats, sValues []int, cfg Config) Decision {
+	distinct := DistinctS(sValues)
+	multi := len(distinct) > 1
+
+	switch cfg.Algorithm {
+	case AlgoSetIntersection:
+		return pin(cfg, AlgoSetIntersection,
+			"pinned Algorithm 1: per-s passes preserve its weight semantics")
+	case AlgoEnsemble:
+		return pin(cfg, AlgoEnsemble, "pinned Algorithm 3")
+	case AlgoSpGEMM:
+		return pin(cfg, AlgoSpGEMM, "pinned SpGEMM")
+	case AlgoHashmap:
+		if multi && ensembleFits(st) {
+			return pin(cfg, AlgoEnsemble,
+				fmt.Sprintf("batched Algorithm 2 query coalesced into one ensemble pass (%d s values, identical output)", len(distinct)))
+		}
+		return pin(cfg, AlgoHashmap, "pinned Algorithm 2")
+	}
+
+	// AlgoAuto: choose among the exact-weight strategies.
+	if multi {
+		if ensembleFits(st) {
+			return pin(cfg, AlgoEnsemble,
+				fmt.Sprintf("multi-s batch (%d values): one ensemble counting pass, ~%d counters fit the budget", len(distinct), st.WedgePairs))
+		}
+		return pin(cfg, AlgoHashmap,
+			fmt.Sprintf("multi-s batch, but ~%d materialized counters exceed the ensemble budget; per-s hashmap passes", st.WedgePairs))
+	}
+	s := distinct[0]
+	if st.MaxEdgeSize > 0 && s > st.MaxEdgeSize {
+		return pin(cfg, AlgoHashmap,
+			fmt.Sprintf("s=%d exceeds the largest hyperedge (%d): pruning makes the result trivially empty", s, st.MaxEdgeSize))
+	}
+	if s == 1 && spgemmRegime(st) {
+		return pin(cfg, AlgoSpGEMM,
+			"s=1 on a dense hypergraph: filtering discards nothing, so the materialized upper-triangle product costs no more than the output")
+	}
+	return pin(cfg, AlgoHashmap, "single-s query: hashmap counting is the exact-weight cost floor")
+}
+
+// pin resolves cfg onto a registered strategy. The registry is
+// populated at init with every Algorithm tag the planner can emit, so
+// a miss is a programming error.
+func pin(cfg Config, a Algorithm, reason string) Decision {
+	strat, err := StrategyFor(a)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Algorithm = a
+	return Decision{Strategy: strat, Config: cfg, Reason: reason}
+}
+
+// ensembleFits reports whether Algorithm 3's materialized counters
+// (bounded by the wedge-pair count) fit the planner's memory budget.
+// The comparison divides the budget rather than multiplying the count
+// so extreme degree distributions cannot overflow into "fits".
+func ensembleFits(st hg.Stats) bool {
+	return st.WedgePairs <= ensembleCounterBudget/ensembleBytesPerCounter
+}
+
+// spgemmRegime reports whether a hypergraph is in the dense regime
+// where the planner prefers SpGEMM for s=1 queries: large enough to
+// matter, line graph at least half-complete (≥ half of all m·(m−1)/2
+// hyperedge pairs), and a product that fits the budget.
+//
+// WedgePairs counts a hyperedge pair once per shared vertex, so it
+// overestimates distinct pairs on deep-overlap hypergraphs; dividing
+// by the largest hyperedge size (the maximum multiplicity of any pair)
+// gives a conservative lower bound on the distinct-pair coverage, so
+// the regime only triggers when the line graph is provably dense.
+func spgemmRegime(st hg.Stats) bool {
+	m := int64(st.NumEdges)
+	if m < spgemmMinEdges {
+		return false
+	}
+	maxMult := int64(st.MaxEdgeSize)
+	if maxMult < 1 {
+		maxMult = 1
+	}
+	if st.WedgePairs/maxMult < m*(m-1)/4 {
+		return false
+	}
+	return st.WedgePairs <= spgemmProductBudget/spgemmBytesPerEntry
+}
+
+// planFor is the pipeline-internal entry: it computes dataset
+// statistics only when the decision actually needs them (AlgoAuto, or
+// a pinned-hashmap batch that may coalesce into an ensemble pass).
+func planFor(h *hg.Hypergraph, sValues []int, cfg Config) Decision {
+	var st hg.Stats
+	if cfg.Algorithm == AlgoAuto ||
+		(cfg.Algorithm == AlgoHashmap && len(DistinctS(sValues)) > 1) {
+		st = hg.ComputeStats("", h)
+	}
+	return PlanQuery(st, sValues, cfg)
+}

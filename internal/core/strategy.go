@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperline/internal/hg"
+	"hyperline/internal/par"
+	"hyperline/internal/spgemm"
+)
+
+// Strategy is one pluggable s-overlap execution engine. Implementations
+// must satisfy the pipeline contract: for every distinct s in sValues
+// (clamped to ≥ 1), the returned edge list is sorted by (U, V), deduped
+// with U < V, and deterministic for a given hypergraph regardless of
+// worker count, workload distribution, or counter store — exactly what
+// graph.BuildSorted's zero-copy Stage 4 requires.
+//
+// Weight semantics are the only permitted output difference between
+// strategies: every strategy reports exact overlap counts except
+// Algorithm 1 with short-circuiting, whose weights are ≥ s bounds.
+type Strategy interface {
+	// Algorithm returns the enum tag this strategy implements.
+	Algorithm() Algorithm
+	// Name is the strategy's stable human-readable identifier, used in
+	// plan reporting and logs.
+	Name() string
+	// Edges computes the s-line edge lists for every distinct s in
+	// sValues. Stats are aggregated across the whole call (per-s work
+	// is not broken out; multi-s strategies may share one counting
+	// pass).
+	Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats)
+}
+
+// strategies is the registry the planner and the pipeline resolve
+// Algorithm tags against. Populated at init; RegisterStrategy allows
+// tests and extensions to add entries before any query runs.
+var strategies = map[Algorithm]Strategy{}
+
+// RegisterStrategy adds s to the registry, replacing any previous
+// strategy with the same Algorithm tag. Not safe for concurrent use
+// with running queries — register during initialization.
+func RegisterStrategy(s Strategy) {
+	strategies[s.Algorithm()] = s
+}
+
+// StrategyFor resolves a pinned algorithm tag to its registered
+// strategy.
+func StrategyFor(a Algorithm) (Strategy, error) {
+	s, ok := strategies[a]
+	if !ok {
+		return nil, fmt.Errorf("core: no strategy registered for algorithm %s", a)
+	}
+	return s, nil
+}
+
+// Strategies lists the registered strategies ordered by Algorithm tag.
+func Strategies() []Strategy {
+	out := make([]Strategy, 0, len(strategies))
+	for _, s := range strategies {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Algorithm() < out[j].Algorithm() })
+	return out
+}
+
+func init() {
+	RegisterStrategy(setIntersectionStrategy{})
+	RegisterStrategy(hashmapStrategy{})
+	RegisterStrategy(ensembleStrategy{})
+	RegisterStrategy(spgemmStrategy{})
+}
+
+// setIntersectionStrategy is Algorithm 1. Multi-s queries run one
+// independent pass per s: each pass's short-circuit point (or exact
+// intersection) depends on s, so no work can be shared.
+type setIntersectionStrategy struct{}
+
+func (setIntersectionStrategy) Algorithm() Algorithm { return AlgoSetIntersection }
+func (setIntersectionStrategy) Name() string         { return "set-intersection" }
+
+func (setIntersectionStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+	return perS(h, sValues, cfg, setIntersectionEdges)
+}
+
+// hashmapStrategy is Algorithm 2. Multi-s queries run one pass per s —
+// the planner routes batches to the ensemble strategy instead when the
+// counter memory is affordable.
+type hashmapStrategy struct{}
+
+func (hashmapStrategy) Algorithm() Algorithm { return AlgoHashmap }
+func (hashmapStrategy) Name() string         { return "hashmap" }
+
+func (hashmapStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+	return perS(h, sValues, cfg, hashmapEdges)
+}
+
+// ensembleStrategy is Algorithm 3: one counting pass serves every
+// requested s.
+type ensembleStrategy struct{}
+
+func (ensembleStrategy) Algorithm() Algorithm { return AlgoEnsemble }
+func (ensembleStrategy) Name() string         { return "ensemble" }
+
+func (ensembleStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+	return EnsembleEdges(h, sValues, cfg)
+}
+
+// spgemmStrategy computes s-overlaps as upper-triangular Gustavson
+// SpGEMM (L = HᵀH) followed by s-filtration. The product is
+// materialized once and filtered per s, so multi-s queries share the
+// multiply. Weights are exact overlap counts, identical to Algorithm
+// 2's. Stats report only the emitted edge count: the SpGEMM kernel has
+// no wedge or intersection counters.
+type spgemmStrategy struct{}
+
+func (spgemmStrategy) Algorithm() Algorithm { return AlgoSpGEMM }
+func (spgemmStrategy) Name() string         { return "spgemm" }
+
+func (spgemmStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+	var stats Stats
+	distinct := DistinctS(sValues)
+	result := make(map[int][]Edge, len(distinct))
+	if len(distinct) == 0 {
+		return result, stats
+	}
+	l, err := spgemm.MultiplyUpper(spgemm.EdgeView(h), spgemm.VertexView(h), cfg.parOptions())
+	if err != nil {
+		// HᵀH dimensions agree by construction; a mismatch is a
+		// programming error, not a query error.
+		panic(err)
+	}
+	lists := make([][]Edge, len(distinct))
+	par.For(len(distinct), par.Options{Workers: cfg.Workers}, func(_, k int) {
+		lists[k] = spgemm.FilterS(l, distinct[k])
+	})
+	for k, s := range distinct {
+		result[s] = lists[k]
+		stats.Edges += int64(len(lists[k]))
+	}
+	return result, stats
+}
+
+// perS runs an independent single-s pass per distinct s value and
+// merges the work counters.
+func perS(h *hg.Hypergraph, sValues []int, cfg Config, run func(*hg.Hypergraph, int, Config) ([]Edge, Stats)) (map[int][]Edge, Stats) {
+	var stats Stats
+	distinct := DistinctS(sValues)
+	result := make(map[int][]Edge, len(distinct))
+	for _, s := range distinct {
+		edges, st := run(h, s, cfg)
+		result[s] = edges
+		stats.add(st)
+	}
+	return result, stats
+}

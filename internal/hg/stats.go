@@ -14,6 +14,12 @@ type Stats struct {
 	AvgEdgeSize     float64
 	MaxVertexDegree int // ∆v
 	MaxEdgeSize     int // ∆e
+	// WedgePairs is Σ_v deg(v)·(deg(v)−1)/2: the number of unordered
+	// hyperedge pairs sharing a vertex, counted with multiplicity. It
+	// upper-bounds both the s-line candidate pairs and the overlap
+	// counters Algorithm 3 must materialize, which makes it the
+	// planner's primary cost-model input.
+	WedgePairs int64
 }
 
 // ComputeStats derives Table IV-style statistics for h.
@@ -31,6 +37,10 @@ func ComputeStats(name string, h *Hypergraph) Stats {
 	}
 	if s.NumEdges > 0 {
 		s.AvgEdgeSize = float64(s.Incidences) / float64(s.NumEdges)
+	}
+	for v := 0; v < s.NumVertices; v++ {
+		d := int64(h.VertexDegree(uint32(v)))
+		s.WedgePairs += d * (d - 1) / 2
 	}
 	return s
 }

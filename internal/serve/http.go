@@ -25,18 +25,26 @@ import (
 //	POST   /v1/datasets/{name}/load                   {"path": "..."}
 //	GET    /v1/datasets/{name}
 //	DELETE /v1/datasets/{name}
-//	POST   /v1/datasets/{name}/warmup                 {"s": [..], "dual": bool, ...}
+//	POST   /v1/datasets/{name}/warmup                 {"s": [..] | "lo:hi,..", "dual": bool, ...}
 //	GET    /v1/datasets/{name}/slinegraph?s=N
 //	GET    /v1/datasets/{name}/scliquegraph?s=N
+//	GET    /v1/datasets/{name}/slinegraphs?s=LIST
+//	GET    /v1/datasets/{name}/scliquegraphs?s=LIST
 //	GET    /v1/datasets/{name}/components?s=N
 //	GET    /v1/datasets/{name}/distances?s=N&source=H
 //	GET    /v1/datasets/{name}/centrality?s=N&kind=betweenness|closeness|harmonic|pagerank
 //	GET    /v1/datasets/{name}/connectivity?s=N
 //
+// The plural projection endpoints (and the warmup body's "s" field)
+// accept an s-list: a comma-separated mix of values and inclusive
+// lo:hi ranges, e.g. "1,4:6,12". The whole list is served as one
+// batched planner-driven pass; uncached members share a single
+// counting pass when the planner picks the ensemble.
+//
 // Query/projection endpoints share the option parameters config (Table
-// III notation, e.g. 2BA), toplex, nosqueeze, exact, and workers;
-// measure endpoints additionally accept dual=true to run against the
-// s-clique graph.
+// III notation — extended with "3", "A"/"auto", "S"/"spgemm"), toplex,
+// nosqueeze, exact, and workers; measure endpoints additionally accept
+// dual=true to run against the s-clique graph.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +85,12 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/datasets/{name}/scliquegraph", func(w http.ResponseWriter, r *http.Request) {
 		handleProjection(svc, w, r, true)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/slinegraphs", func(w http.ResponseWriter, r *http.Request) {
+		handleProjectionBatch(svc, w, r, false)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/scliquegraphs", func(w http.ResponseWriter, r *http.Request) {
+		handleProjectionBatch(svc, w, r, true)
 	})
 	mux.HandleFunc("GET /v1/datasets/{name}/components", func(w http.ResponseWriter, r *http.Request) {
 		handleMeasure(svc, w, r, measureComponents)
@@ -220,17 +234,24 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// The body accepts the same option set as the query endpoints, so a
 	// warmup can pre-seed exactly the keys those queries will look up.
+	// "s" is either a JSON array of integers or an s-list string such
+	// as "1,4:8".
 	var req struct {
-		S         []int  `json:"s"`
-		Dual      bool   `json:"dual"`
-		Config    string `json:"config"`
-		Toplex    bool   `json:"toplex"`
-		NoSqueeze bool   `json:"nosqueeze"`
-		Exact     bool   `json:"exact"`
-		Workers   int    `json:"workers"`
+		S         json.RawMessage `json:"s"`
+		Dual      bool            `json:"dual"`
+		Config    string          `json:"config"`
+		Toplex    bool            `json:"toplex"`
+		NoSqueeze bool            `json:"nosqueeze"`
+		Exact     bool            `json:"exact"`
+		Workers   int             `json:"workers"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.S) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: body must be {\"s\": [..], ...}"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: body must be {\"s\": [..] or \"lo:hi\", ...}"))
+		return
+	}
+	sweep, err := decodeSValues(req.S)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var cfg core.PipelineConfig
@@ -247,7 +268,7 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 	cfg.Core.DisableShortCircuit = req.Exact
 	cfg.Core.Workers = clampWorkers(req.Workers)
 	start := time.Now()
-	computed, hot, err := svc.Warmup(name, req.Dual, req.S, cfg)
+	computed, hot, err := svc.Warmup(name, req.Dual, sweep, cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -257,6 +278,23 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 		"already_hot": hot,
 		"elapsed_ms":  float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// decodeSValues accepts the two warmup body forms for "s": a JSON
+// array of integers, or an s-list string ("1,4:8").
+func decodeSValues(raw json.RawMessage) ([]int, error) {
+	var list []int
+	if err := json.Unmarshal(raw, &list); err == nil {
+		if err := core.ValidateSValues(list); err != nil {
+			return nil, err
+		}
+		return list, nil
+	}
+	var spec string
+	if err := json.Unmarshal(raw, &spec); err == nil {
+		return core.ParseSValues(spec)
+	}
+	return nil, fmt.Errorf("serve: \"s\" must be an integer array or an s-list string such as \"1,4:8\"")
 }
 
 // graphResponse serializes one projection.
@@ -270,6 +308,14 @@ type graphResponse struct {
 	HyperedgeIDs []uint32    `json:"hyperedge_ids,omitempty"`
 	EdgeList     [][3]uint32 `json:"edge_list,omitempty"`
 	TimingsMS    timingsJSON `json:"timings_ms"`
+	Plan         planJSON    `json:"plan"`
+}
+
+// planJSON surfaces the executed plan (strategy + reason) for
+// observability.
+type planJSON struct {
+	Strategy string `json:"strategy"`
+	Reason   string `json:"reason,omitempty"`
 }
 
 type timingsJSON struct {
@@ -319,6 +365,10 @@ func handleProjection(svc *Service, w http.ResponseWriter, r *http.Request, dual
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, toGraphResponse(name, sVal, dual, cached, includeEdges, res))
+}
+
+func toGraphResponse(name string, sVal int, dual, cached, includeEdges bool, res *core.PipelineResult) graphResponse {
 	resp := graphResponse{
 		Dataset:      name,
 		S:            sVal,
@@ -328,6 +378,7 @@ func handleProjection(svc *Service, w http.ResponseWriter, r *http.Request, dual
 		Edges:        res.Graph.NumEdges(),
 		HyperedgeIDs: res.HyperedgeIDs,
 		TimingsMS:    toTimings(res.Timings),
+		Plan:         planJSON{Strategy: res.Plan.Strategy, Reason: res.Plan.Reason},
 	}
 	if includeEdges {
 		edges := res.Graph.Edges()
@@ -336,7 +387,55 @@ func handleProjection(svc *Service, w http.ResponseWriter, r *http.Request, dual
 			resp.EdgeList[i] = [3]uint32{e.U, e.V, e.W}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// handleProjectionBatch serves the s-list (plural) projection
+// endpoints: the whole list runs as one batched planner-driven pass and
+// the response carries one entry per distinct s, ascending.
+func handleProjectionBatch(svc *Service, w http.ResponseWriter, r *http.Request, dual bool) {
+	name := r.PathValue("name")
+	spec := r.URL.Query().Get("s")
+	if spec == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: s is required (a value, list, or lo:hi range)"))
+		return
+	}
+	sweep, err := core.ParseSValues(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	includeEdges, err := boolParamDefault(r, "edges", true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var results map[int]*core.PipelineResult
+	var cached map[int]bool
+	if dual {
+		results, cached, err = svc.SCliqueGraphs(name, sweep, cfg)
+	} else {
+		results, cached, err = svc.SLineGraphs(name, sweep, cfg)
+	}
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	distinct := core.DistinctS(sweep)
+	out := make([]graphResponse, 0, len(distinct))
+	for _, sVal := range distinct {
+		out = append(out, toGraphResponse(name, sVal, dual, cached[sVal], includeEdges, results[sVal]))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name,
+		"dual":    dual,
+		"results": out,
+	})
 }
 
 func boolParamDefault(r *http.Request, name string, def bool) (bool, error) {

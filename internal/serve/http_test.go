@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -220,6 +221,103 @@ func TestHTTPWarmupThenHit(t *testing.T) {
 	if warm.Computed != 1 || warm.AlreadyHot != 0 {
 		t.Fatalf("duplicate-s warmup on a cold cache: %+v", warm)
 	}
+}
+
+func TestHTTPBatchProjections(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+
+	var batch struct {
+		Dataset string `json:"dataset"`
+		Dual    bool   `json:"dual"`
+		Results []struct {
+			graphJSON
+			S    int `json:"s"`
+			Plan struct {
+				Strategy string `json:"strategy"`
+				Reason   string `json:"reason"`
+			} `json:"plan"`
+		} `json:"results"`
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraphs?s=1:3", nil, http.StatusOK, &batch)
+	if len(batch.Results) != 3 {
+		t.Fatalf("want 3 results for s=1:3, got %d", len(batch.Results))
+	}
+	for i, got := range batch.Results {
+		if got.S != i+1 {
+			t.Fatalf("results out of order: %+v", batch.Results)
+		}
+		direct := core.Run(paperExample(), got.S, core.PipelineConfig{})
+		if got.Edges != direct.Graph.NumEdges() {
+			t.Fatalf("s=%d: %d edges, want %d", got.S, got.Edges, direct.Graph.NumEdges())
+		}
+		if got.Plan.Strategy == "" {
+			t.Fatalf("s=%d: missing plan info", got.S)
+		}
+	}
+
+	// The batch seeded the per-s cache: single queries hit.
+	var single graphJSON
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph?s=2", nil, http.StatusOK, &single)
+	if !single.Cached {
+		t.Fatal("single query after batch must be served from cache")
+	}
+
+	// Mixed list + range forms, and the dual orientation.
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraphs?s=1,2:3", nil, http.StatusOK, &batch)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/scliquegraphs?s=1,2", nil, http.StatusOK, &batch)
+	if !batch.Dual || len(batch.Results) != 2 {
+		t.Fatalf("scliquegraphs: %+v", batch)
+	}
+
+	// Bad requests.
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraphs", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraphs?s=0", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraphs?s=5:2", nil, http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/nope/slinegraphs?s=1", nil, http.StatusNotFound, nil)
+}
+
+func TestHTTPWarmupSListString(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+	var warm struct {
+		Computed   int `json:"computed"`
+		AlreadyHot int `json:"already_hot"`
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": "1,3:4"}`), http.StatusOK, &warm)
+	if warm.Computed != 3 || warm.AlreadyHot != 0 {
+		t.Fatalf("s-list warmup: %+v", warm)
+	}
+	for _, sVal := range []string{"1", "3", "4"} {
+		var got graphJSON
+		do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraph?s="+sVal, nil, http.StatusOK, &got)
+		if !got.Cached {
+			t.Fatalf("s=%s: query after s-list warmup must hit", sVal)
+		}
+	}
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": "nope"}`), http.StatusBadRequest, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": true}`), http.StatusBadRequest, nil)
+
+	// Oversized requests are rejected in both body forms and on the
+	// batch endpoints.
+	big := make([]byte, 0, 1<<16)
+	big = append(big, `{"s": [`...)
+	for i := 1; i <= core.MaxSValues+1; i++ {
+		if i > 1 {
+			big = append(big, ',')
+		}
+		big = strconv.AppendInt(big, int64(i), 10)
+	}
+	big = append(big, `]}`...)
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(string(big)), http.StatusBadRequest, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/datasets/paper/warmup",
+		strings.NewReader(`{"s": "1:1000,2000:3000"}`), http.StatusBadRequest, nil)
+	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/slinegraphs?s=1:1000,2000:3000",
+		nil, http.StatusBadRequest, nil)
 }
 
 func TestHTTPMeasures(t *testing.T) {

@@ -7,11 +7,13 @@
 // The paper treats s-line graphs as a multi-resolution family — the
 // applications repeatedly query the same hypergraph at many s values —
 // so the unit of caching is one materialized projection
-// (core.PipelineResult). Results are immutable by convention: every
-// cache reader receives the same pointer, and the s-measures of Stage 5
-// only read the graph. Warmup precomputes an s-sweep with Algorithm 3
-// (one counting pass for the whole ensemble) and seeds the cache with
-// results byte-identical to what per-s direct runs would produce.
+// (core.PipelineResult), and multi-s batches are first-class requests:
+// SLineGraphs/SCliqueGraphs (and Warmup on top of them) collect the
+// uncached s values of a batch and run them as one core.RunBatch call,
+// letting the planner decide whether a single ensemble counting pass or
+// per-s passes serve the batch. Results are immutable by convention:
+// every cache reader receives the same pointer, and the s-measures of
+// Stage 5 only read the graph.
 //
 // cmd/hyperlined exposes this package over HTTP/JSON; hyperline.Session
 // exposes it to library users.
@@ -123,67 +125,146 @@ func (s *Service) project(name string, dual bool, sVal int, cfg core.PipelineCon
 		return res, true, nil
 	}
 	v, err, shared := s.sf.Do(k, func() (any, error) {
+		// Re-probe under the flight: an identical request may have
+		// completed (and been forgotten by singleflight) between our
+		// cache miss and this call; recomputing would return a
+		// different pointer for the same projection. The hit is
+		// recorded so the cached flag stays truthful.
+		if res, ok := s.cache.Get(k); ok {
+			return projectFlight{res: res, fromCache: true}, nil
+		}
 		res := core.Run(h, sVal, cfg)
 		s.cache.Put(k, res)
-		return res, nil
+		return projectFlight{res: res}, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	return v.(*core.PipelineResult), shared, nil
+	f := v.(projectFlight)
+	return f.res, shared || f.fromCache, nil
 }
 
-// ensembleSafe reports whether Algorithm 3 produces edge lists
-// byte-identical to per-s core.Run calls under cfg: the ensemble counts
-// exact overlaps the way Algorithm 2 does, so it can stand in for it —
-// but not for Algorithm 1, whose short-circuited weights differ.
-func ensembleSafe(cfg core.PipelineConfig) bool {
-	return cfg.Core.Algorithm == 0 || cfg.Core.Algorithm == core.AlgoHashmap
+// projectFlight is a single-s flight outcome: the result plus whether
+// the flight itself served it from the cache (Stages 1-4 skipped).
+type projectFlight struct {
+	res       *core.PipelineResult
+	fromCache bool
 }
 
-// Warmup precomputes the s-sweep for the named dataset and seeds the
-// cache, so subsequent queries for any swept s are hits. Already-cached
-// s values are skipped. With Algorithm 2 configurations (the default)
-// the sweep runs as one Algorithm 3 ensemble — a single counting pass —
-// and falls back to per-s pipeline runs otherwise. It returns the
-// number of results computed and the number of distinct requested s
-// values that were already cached.
-func (s *Service) Warmup(name string, dual bool, sValues []int, cfg core.PipelineConfig) (computed, alreadyHot int, err error) {
+// batchFlight is a batch flight outcome: per-s results plus which of
+// them the flight found already cached.
+type batchFlight struct {
+	results map[int]*core.PipelineResult
+	hits    map[int]bool
+}
+
+// SLineGraphs returns the s-line graphs of the named dataset for every
+// distinct s in sValues as one batched request: cached projections are
+// served as-is and the remaining s values run through the planner as a
+// single core.RunBatch pass. cached[s] reports whether Stages 1-4 were
+// skipped for that s (a cache hit, or a concurrent identical batch's
+// result was shared via singleflight).
+func (s *Service) SLineGraphs(name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
+	return s.projectBatch(name, false, sValues, cfg)
+}
+
+// SCliqueGraphs returns the s-clique graphs (s-line graphs of the dual
+// hypergraph) of the named dataset for every distinct s in sValues,
+// batched and cached like SLineGraphs.
+func (s *Service) SCliqueGraphs(name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
+	return s.projectBatch(name, true, sValues, cfg)
+}
+
+func (s *Service) projectBatch(name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
+	if len(sValues) == 0 {
+		return nil, nil, fmt.Errorf("serve: at least one s value is required")
+	}
+	for _, sVal := range sValues {
+		if sVal < 1 {
+			return nil, nil, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
+		}
+	}
 	h, version, err := s.reg.Get(name)
 	if err != nil {
-		return 0, 0, err
+		return nil, nil, err
 	}
 	if dual {
 		h = h.Dual()
 	}
-	missing := make([]int, 0, len(sValues))
-	seen := map[int]bool{}
-	for _, sVal := range sValues {
-		if sVal < 1 {
-			return 0, 0, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
-		}
-		if seen[sVal] {
-			continue
-		}
-		seen[sVal] = true
-		if _, ok := s.cache.Get(key(name, version, dual, sVal, cfg)); !ok {
+	distinct := core.DistinctS(sValues)
+	results := make(map[int]*core.PipelineResult, len(distinct))
+	cached := make(map[int]bool, len(distinct))
+	missing := make([]int, 0, len(distinct))
+	for _, sVal := range distinct {
+		if res, ok := s.cache.Get(key(name, version, dual, sVal, cfg)); ok {
+			results[sVal] = res
+			cached[sVal] = true
+		} else {
 			missing = append(missing, sVal)
 		}
 	}
-	alreadyHot = len(seen) - len(missing)
 	if len(missing) == 0 {
-		return 0, alreadyHot, nil
+		return results, cached, nil
 	}
-	if !ensembleSafe(cfg) {
+	// One planner-driven pass fills every missing s. Singleflight is
+	// keyed on the batch shape, so concurrent identical batches share
+	// one computation; each per-s entry still lands in the cache for
+	// single-s requests to hit.
+	bk := fmt.Sprintf("batch/%v%s", missing, key(name, version, dual, 0, cfg))
+	v, err, shared := s.sf.Do(bk, func() (any, error) {
+		// Re-probe under the flight: an overlapping batch may have
+		// cached some of these s values between our misses and this
+		// call. Hits are recorded so the cached flags stay truthful.
+		out := batchFlight{
+			results: make(map[int]*core.PipelineResult, len(missing)),
+			hits:    make(map[int]bool, len(missing)),
+		}
+		compute := make([]int, 0, len(missing))
 		for _, sVal := range missing {
-			if _, _, err := s.project(name, dual, sVal, cfg); err != nil {
-				return 0, alreadyHot, err
+			if res, ok := s.cache.Get(key(name, version, dual, sVal, cfg)); ok {
+				out.results[sVal] = res
+				out.hits[sVal] = true
+			} else {
+				compute = append(compute, sVal)
 			}
 		}
-		return len(missing), alreadyHot, nil
+		if len(compute) > 0 {
+			for sVal, res := range core.RunBatch(h, compute, cfg) {
+				s.cache.Put(key(name, version, dual, sVal, cfg), res)
+				out.results[sVal] = res
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	for sVal, res := range core.RunEnsemble(h, missing, cfg) {
-		s.cache.Put(key(name, version, dual, sVal, cfg), res)
+	bf := v.(batchFlight)
+	for sVal, res := range bf.results {
+		results[sVal] = res
+		cached[sVal] = shared || bf.hits[sVal]
 	}
-	return len(missing), alreadyHot, nil
+	return results, cached, nil
+}
+
+// Warmup precomputes the s-sweep for the named dataset and seeds the
+// cache, so subsequent queries for any swept s are hits. Already-cached
+// s values are skipped; the rest run as one batched planner-driven pass
+// (a single Algorithm 3 ensemble count when its memory is affordable,
+// per-s passes otherwise — pinned configurations keep their strategy).
+// It returns the number of results computed and the number of distinct
+// requested s values that were already cached.
+func (s *Service) Warmup(name string, dual bool, sValues []int, cfg core.PipelineConfig) (computed, alreadyHot int, err error) {
+	_, cached, err := s.projectBatch(name, dual, sValues, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, hit := range cached {
+		if hit {
+			alreadyHot++
+		} else {
+			computed++
+		}
+	}
+	return computed, alreadyHot, nil
 }

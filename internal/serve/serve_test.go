@@ -238,7 +238,11 @@ func TestWarmupSeedsCacheIdenticalToDirect(t *testing.T) {
 	}
 }
 
-func TestWarmupAlgorithm1FallsBackToPerS(t *testing.T) {
+// TestWarmupAlgorithm1RoutedPerS: a short-circuit Algorithm 1 warmup
+// (a distinct output class) flows through the same batch path as
+// everything else — the planner, not the serving layer, decides it must
+// run per s.
+func TestWarmupAlgorithm1RoutedPerS(t *testing.T) {
 	h := paperExample()
 	svc := New(Config{})
 	svc.Add("h", h)

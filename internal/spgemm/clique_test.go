@@ -1,4 +1,4 @@
-package spgemm
+package spgemm_test
 
 import (
 	"math/rand"
@@ -7,12 +7,31 @@ import (
 	"testing/quick"
 
 	"hyperline/internal/core"
+	"hyperline/internal/hg"
 	"hyperline/internal/par"
+	"hyperline/internal/spgemm"
 )
+
+// randomH mirrors the generator of the package-internal hash tests for
+// the external (core-importing) test package.
+func randomH(r *rand.Rand, n, m int) *hg.Hypergraph {
+	edges := make([][]uint32, m)
+	for e := range edges {
+		size := 1 + r.Intn(6)
+		seen := map[uint32]bool{}
+		for len(seen) < size {
+			seen[uint32(r.Intn(n))] = true
+		}
+		for v := range seen {
+			edges[e] = append(edges[e], v)
+		}
+	}
+	return hg.FromEdgeSlices(edges, n)
+}
 
 func TestCliqueExpansionMatrixExample(t *testing.T) {
 	h := paperExample()
-	w, err := CliqueExpansionMatrix(h, par.Options{})
+	w, err := spgemm.CliqueExpansionMatrix(h, par.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +65,11 @@ func TestCliqueExpansionDuality(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		h := randomH(r, 18, 22)
 		s := 1 + int(sRaw%4)
-		w, err := CliqueExpansionMatrix(h, par.Options{Workers: 2})
+		w, err := spgemm.CliqueExpansionMatrix(h, par.Options{Workers: 2})
 		if err != nil {
 			return false
 		}
-		fromW := FilterS(w, s)
+		fromW := spgemm.FilterS(w, s)
 		fromDual, _ := core.SLineEdges(h.Dual(), s, core.Config{})
 		if len(fromW) == 0 && len(fromDual) == 0 {
 			return true

@@ -1,4 +1,4 @@
-package spgemm
+package spgemm_test
 
 import (
 	"math/rand"
@@ -9,6 +9,7 @@ import (
 	"hyperline/internal/core"
 	"hyperline/internal/hg"
 	"hyperline/internal/par"
+	"hyperline/internal/spgemm"
 )
 
 func paperExample() *hg.Hypergraph {
@@ -24,7 +25,7 @@ func TestEdgeViewIncidence(t *testing.T) {
 	// Figure 3's incidence matrix: H is 6x4 (vertices × edges); the
 	// edge view is its transpose.
 	h := paperExample()
-	ht := EdgeView(h)
+	ht := spgemm.EdgeView(h)
 	if ht.Rows != 4 || ht.Cols != 6 {
 		t.Fatalf("Hᵀ is %dx%d, want 4x6", ht.Rows, ht.Cols)
 	}
@@ -40,7 +41,7 @@ func TestEdgeViewIncidence(t *testing.T) {
 	if ht.At(2, 5) != 0 {
 		t.Fatal("edge 3 should not contain f")
 	}
-	hv := VertexView(h)
+	hv := spgemm.VertexView(h)
 	if hv.Rows != 6 || hv.Cols != 4 {
 		t.Fatalf("H is %dx%d, want 6x4", hv.Rows, hv.Cols)
 	}
@@ -49,7 +50,7 @@ func TestEdgeViewIncidence(t *testing.T) {
 func TestMultiplyAdjacency(t *testing.T) {
 	// L = HᵀH: L[i,j] = inc(ei, ej); diagonal = edge sizes (§II-B).
 	h := paperExample()
-	l, err := Multiply(EdgeView(h), VertexView(h), par.Options{Workers: 2})
+	l, err := spgemm.Multiply(spgemm.EdgeView(h), spgemm.VertexView(h), par.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,20 +73,20 @@ func TestMultiplyAdjacency(t *testing.T) {
 }
 
 func TestMultiplyDimensionMismatch(t *testing.T) {
-	a := &Matrix{Rows: 2, Cols: 3, Off: []int64{0, 0, 0}}
-	b := &Matrix{Rows: 2, Cols: 2, Off: []int64{0, 0, 0}}
-	if _, err := Multiply(a, b, par.Options{}); err == nil {
+	a := &spgemm.Matrix{Rows: 2, Cols: 3, Off: []int64{0, 0, 0}}
+	b := &spgemm.Matrix{Rows: 2, Cols: 2, Off: []int64{0, 0, 0}}
+	if _, err := spgemm.Multiply(a, b, par.Options{}); err == nil {
 		t.Fatal("expected dimension mismatch error")
 	}
 }
 
 func TestMultiplyUpperHalvesStorage(t *testing.T) {
 	h := paperExample()
-	full, err := Multiply(EdgeView(h), VertexView(h), par.Options{})
+	full, err := spgemm.Multiply(spgemm.EdgeView(h), spgemm.VertexView(h), par.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	upper, err := MultiplyUpper(EdgeView(h), VertexView(h), par.Options{})
+	upper, err := spgemm.MultiplyUpper(spgemm.EdgeView(h), spgemm.VertexView(h), par.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestFilterMatchesAlgorithm2(t *testing.T) {
 		h := hg.FromEdgeSlices(edges, 25)
 		s := 1 + int(sRaw%4)
 		want, _ := core.SLineEdges(h, s, core.Config{})
-		got, err := SLineFilter(h, s, par.Options{Workers: 3})
+		got, err := spgemm.SLineFilter(h, s, par.Options{Workers: 3})
 		if err != nil {
 			return false
 		}
-		gotUpper, err := SLineFilterUpper(h, s, par.Options{Workers: 3})
+		gotUpper, err := spgemm.SLineFilterUpper(h, s, par.Options{Workers: 3})
 		if err != nil {
 			return false
 		}
@@ -145,11 +146,11 @@ func TestFilterMatchesAlgorithm2(t *testing.T) {
 
 func TestFilterSClamp(t *testing.T) {
 	h := paperExample()
-	l, err := Multiply(EdgeView(h), VertexView(h), par.Options{})
+	l, err := spgemm.Multiply(spgemm.EdgeView(h), spgemm.VertexView(h), par.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := FilterS(l, 0), FilterS(l, 1); !reflect.DeepEqual(got, want) {
+	if got, want := spgemm.FilterS(l, 0), spgemm.FilterS(l, 1); !reflect.DeepEqual(got, want) {
 		t.Fatal("s=0 should behave as s=1")
 	}
 }
@@ -157,12 +158,12 @@ func TestFilterSClamp(t *testing.T) {
 func TestMultiplyAssociativeSmall(t *testing.T) {
 	// (A·B) computed with 1 worker equals many workers.
 	h := paperExample()
-	a, b := EdgeView(h), VertexView(h)
-	l1, err := Multiply(a, b, par.Options{Workers: 1})
+	a, b := spgemm.EdgeView(h), spgemm.VertexView(h)
+	l1, err := spgemm.Multiply(a, b, par.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l8, err := Multiply(a, b, par.Options{Workers: 8, Strategy: par.Cyclic})
+	l8, err := spgemm.Multiply(a, b, par.Options{Workers: 8, Strategy: par.Cyclic})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,11 +65,27 @@ func (s *Session) SCliqueGraph(name string, sVal int, opt Options) (*Result, err
 	return res, err
 }
 
-// Warmup precomputes the s-sweep for the named dataset with a single
-// Algorithm 3 counting pass (per-s runs for Algorithm 1 configurations)
-// and seeds the cache, so subsequent SLineGraph calls for any swept s
-// are hits. It returns the number of projections actually computed;
-// already-cached s values are skipped.
+// SLineGraphs returns the s-line graphs of the named dataset for every
+// distinct s in sValues as one batched request: cached projections are
+// served as-is, and the rest run through the planner as a single pass
+// (one ensemble count when its memory is affordable). Every computed
+// projection is cached per s, so later SLineGraph calls hit.
+func (s *Session) SLineGraphs(name string, sValues []int, opt Options) (map[int]*Result, error) {
+	results, _, err := s.svc.SLineGraphs(name, sValues, opt.pipeline())
+	return results, err
+}
+
+// SCliqueGraphs returns the s-clique graphs of the named dataset for
+// every distinct s in sValues, batched and cached like SLineGraphs.
+func (s *Session) SCliqueGraphs(name string, sValues []int, opt Options) (map[int]*Result, error) {
+	results, _, err := s.svc.SCliqueGraphs(name, sValues, opt.pipeline())
+	return results, err
+}
+
+// Warmup precomputes the s-sweep for the named dataset as one batched
+// planner-driven pass and seeds the cache, so subsequent SLineGraph
+// calls for any swept s are hits. It returns the number of projections
+// actually computed; already-cached s values are skipped.
 func (s *Session) Warmup(name string, sValues []int, opt Options) (int, error) {
 	computed, _, err := s.svc.Warmup(name, false, sValues, opt.pipeline())
 	return computed, err

@@ -95,6 +95,45 @@ func TestSessionWarmupAndClique(t *testing.T) {
 	}
 }
 
+func TestSessionBatchGraphs(t *testing.T) {
+	sess := hyperline.NewSession(hyperline.SessionOptions{})
+	sess.Add("paper", sessionExample())
+
+	sweep := []int{1, 2, 3}
+	batch, err := sess.SLineGraphs("paper", sweep, hyperline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(batch))
+	}
+	for _, s := range sweep {
+		direct := hyperline.SLineGraph(sessionExample(), s, hyperline.Options{})
+		if !reflect.DeepEqual(batch[s].Graph.Edges(), direct.Graph.Edges()) {
+			t.Fatalf("s=%d: batch result differs from direct call", s)
+		}
+		// The batch seeded the cache: single queries return the same
+		// pointer.
+		single, err := sess.SLineGraph("paper", s, hyperline.Options{})
+		if err != nil || single != batch[s] {
+			t.Fatalf("s=%d: single query after batch must hit the cached pointer (err=%v)", s, err)
+		}
+	}
+
+	cliques, err := sess.SCliqueGraphs("paper", []int{1, 2}, hyperline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hyperline.SCliqueGraph(sessionExample(), 2, hyperline.Options{})
+	if !reflect.DeepEqual(cliques[2].Graph.Edges(), want.Graph.Edges()) {
+		t.Fatal("batched clique graph differs from direct call")
+	}
+
+	if _, err := sess.SLineGraphs("paper", nil, hyperline.Options{}); err == nil {
+		t.Fatal("empty batch must error")
+	}
+}
+
 func TestSessionLoadAndList(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "h.bin")
