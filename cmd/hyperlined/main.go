@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	hyperlined [-addr :8080] [-cache 128] [-load name=path ...] [-warmup 1:4]
+//	hyperlined [-addr :8080] [-cache 128] [-measure-cache 1024]
+//	           [-load name=path ...] [-warmup 1:4]
 //
 // Each -load registers a dataset at startup (format by extension:
 // ".pairs", ".bin", or adjacency lines); -warmup precomputes the given
@@ -18,6 +19,8 @@
 //	curl -X PUT --data-binary @data.hgr 'localhost:8080/v1/datasets/web'
 //	curl 'localhost:8080/v1/datasets/web/slinegraph?s=4'
 //	curl 'localhost:8080/v1/datasets/web/components?s=4'
+//	curl 'localhost:8080/v1/datasets/web/measures?s=1:4&measure=diameter'
+//	curl 'localhost:8080/v1/measures'
 //	curl 'localhost:8080/v1/cache'
 package main
 
@@ -50,12 +53,13 @@ func (l *loadFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", serve.DefaultCacheEntries, "LRU capacity in cached pipeline results")
+	mcache := flag.Int("measure-cache", serve.DefaultMeasureCacheEntries, "LRU capacity in cached measure values")
 	warmup := flag.String("warmup", "", "comma-separated s values to precompute for every loaded dataset")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to register at startup, as name=path (repeatable)")
 	flag.Parse()
 
-	svc := serve.New(serve.Config{CacheEntries: *cache})
+	svc := serve.New(serve.Config{CacheEntries: *cache, MeasureCacheEntries: *mcache})
 	for _, l := range loads {
 		if err := svc.Load(l.name, l.path); err != nil {
 			log.Fatalf("hyperlined: loading %s: %v", l.name, err)

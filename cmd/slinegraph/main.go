@@ -7,7 +7,7 @@
 //
 //	slinegraph -in data.hgr -s 8 [-config auto] [-dual] [-toplex]
 //	           [-workers N] [-metrics cc,bc,pagerank,connectivity]
-//	           [-out edges.txt]
+//	           [-measure NAME [-param k=v] [-top K]] [-out edges.txt]
 //
 // -s accepts a single value ("8"), a comma-separated list ("1,2,5"),
 // an inclusive range ("2:6"), or any mix ("1,4:6"). Multi-s sweeps run
@@ -15,6 +15,14 @@
 // counting pass or per-s passes serve the sweep. -config takes the
 // extended Table III notation (e.g. 2BA, 1CN, ABN, SBN) or the words
 // "auto" (default: planner-chosen) and "spgemm".
+//
+// -measure evaluates one registered Stage-5 measure across the sweep
+// and prints a paper-style tab-separated table (scalar measures: one
+// row per s; per-node measures: the top K nodes per s) — and nothing
+// else — on stdout, so the output can be piped or diffed; dataset
+// statistics and per-s diagnostics go to stderr. -param passes
+// measure parameters (e.g. -param source=3 for distances); -measure
+// help lists the registry.
 package main
 
 import (
@@ -29,7 +37,23 @@ import (
 	"hyperline"
 	"hyperline/internal/core"
 	"hyperline/internal/hgio"
+	"hyperline/internal/measure"
+	"hyperline/internal/par"
 )
+
+// paramFlags collects repeated -param k=v arguments.
+type paramFlags map[string]string
+
+func (p paramFlags) String() string { return fmt.Sprintf("%d params", len(p)) }
+
+func (p paramFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	p[k] = val
+	return nil
+}
 
 func main() {
 	in := flag.String("in", "", "input hypergraph (.pairs or adjacency lines)")
@@ -39,9 +63,22 @@ func main() {
 	toplex := flag.Bool("toplex", false, "simplify to toplexes first (Stage 2)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	metrics := flag.String("metrics", "cc", "comma-separated: cc, bc, pagerank, connectivity")
+	measureName := flag.String("measure", "", "emit an s-sweep table of this registered measure (\"help\" lists them)")
+	top := flag.Int("top", 5, "rows per s in per-node measure sweep tables")
+	params := paramFlags{}
+	flag.Var(params, "param", "measure parameter, as key=value (repeatable)")
 	out := flag.String("out", "", "optionally write the s-line edge list(s) here (multi-s sweeps prefix each line with s)")
 	flag.Parse()
 
+	if *measureName == "help" {
+		for _, info := range measure.Infos() {
+			fmt.Printf("%-18s %-10s %s\n", info.Name, info.Cost, info.Doc)
+			for _, p := range info.Params {
+				fmt.Printf("%-18s   -param %s=... (%s)\n", "", p.Name, p.Doc)
+			}
+		}
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "slinegraph: -in is required")
 		os.Exit(2)
@@ -57,6 +94,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Resolve the measure and its params before any pipeline work, so
+	// a typo fails in milliseconds instead of after a full sweep.
+	var sweepMeasure measure.Measure
+	var sweepParams measure.Params
+	if *measureName != "" {
+		if sweepMeasure, err = measure.Get(*measureName); err == nil {
+			sweepParams, err = measure.Canonicalize(sweepMeasure, params)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	h, err := hgio.LoadFile(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
@@ -65,7 +116,13 @@ func main() {
 	if *dual {
 		h = h.Dual()
 	}
-	fmt.Printf("%v\n", hyperline.ComputeStats(*in, h))
+	diag := os.Stdout
+	if *measureName != "" {
+		// The sweep table owns stdout; everything else becomes
+		// diagnostics.
+		diag = os.Stderr
+	}
+	fmt.Fprintf(diag, "%v\n", hyperline.ComputeStats(*in, h))
 
 	opt := hyperline.Options{
 		Algorithm: cfg.Algorithm,
@@ -76,6 +133,13 @@ func main() {
 	}
 	results := hyperline.SLineGraphs(h, sweep, opt)
 	distinct := core.DistinctS(sweep)
+
+	if sweepMeasure != nil {
+		if err := emitSweepTable(results, distinct, sweepMeasure, sweepParams, *top, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var outFile *os.File
 	var outBuf *bufio.Writer
@@ -90,16 +154,18 @@ func main() {
 	multi := len(distinct) > 1
 	for _, sVal := range distinct {
 		res := results[sVal]
-		fmt.Printf("s=%d line graph: %d nodes, %d edges\n", sVal, res.Graph.NumNodes(), res.Graph.NumEdges())
-		fmt.Printf("plan: %s (%s)\n", res.Plan.Strategy, res.Plan.Reason)
-		fmt.Printf("stages: preprocess=%v toplex=%v s-overlap=%v squeeze=%v total=%v\n",
+		fmt.Fprintf(diag, "s=%d line graph: %d nodes, %d edges\n", sVal, res.Graph.NumNodes(), res.Graph.NumEdges())
+		fmt.Fprintf(diag, "plan: %s (%s)\n", res.Plan.Strategy, res.Plan.Reason)
+		fmt.Fprintf(diag, "stages: preprocess=%v toplex=%v s-overlap=%v squeeze=%v total=%v\n",
 			res.Timings.Preprocess, res.Timings.Toplex, res.Timings.SOverlap,
 			res.Timings.Squeeze, res.Timings.Total())
-		fmt.Printf("work: wedges=%d set-intersections=%d pruned=%d\n",
+		fmt.Fprintf(diag, "work: wedges=%d set-intersections=%d pruned=%d\n",
 			res.Stats.Wedges, res.Stats.SetIntersections, res.Stats.Pruned)
-		if err := printMetrics(res, *metrics, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
-			os.Exit(2)
+		if *measureName == "" {
+			if err := printMetrics(res, *metrics, *workers); err != nil {
+				fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+				os.Exit(2)
+			}
 		}
 		if outBuf != nil {
 			for _, e := range res.Graph.Edges() {
@@ -120,8 +186,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "slinegraph: closing %s: %v\n", *out, err)
 			os.Exit(1)
 		}
-		fmt.Printf("edge list written to %s\n", *out)
+		fmt.Fprintf(diag, "edge list written to %s\n", *out)
 	}
+}
+
+// emitSweepTable evaluates the resolved measure on every projection of
+// the sweep and writes the paper-style table to stdout — the same
+// code path the golden-file tests pin byte-for-byte.
+func emitSweepTable(results map[int]*hyperline.Result, distinct []int, m measure.Measure, p measure.Params, top, workers int) error {
+	rows := make([]measure.SweepRow, 0, len(distinct))
+	for _, sVal := range distinct {
+		res := results[sVal]
+		val, err := m.Compute(res, p, par.Options{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("s=%d: %w", sVal, err)
+		}
+		rows = append(rows, measure.SweepRow{
+			S:            sVal,
+			Nodes:        res.Graph.NumNodes(),
+			Edges:        res.Graph.NumEdges(),
+			HyperedgeIDs: res.HyperedgeIDs,
+			Value:        val,
+		})
+	}
+	return measure.WriteSweepTable(os.Stdout, m.Name(), p, top, rows)
 }
 
 func printMetrics(res *hyperline.Result, metrics string, workers int) error {

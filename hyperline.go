@@ -329,6 +329,12 @@ func GlobalClusteringCoefficient(g *Graph, workers int) float64 {
 	return algo.GlobalClusteringCoefficient(g, par.Options{Workers: workers})
 }
 
+// ParseSValues parses an s-value specification: a single value ("8"),
+// a comma-separated list ("1,2,5"), an inclusive range ("2:6"), or any
+// mix ("1,4:6,12") — the format the batched query and measure-sweep
+// APIs take on the command line and over HTTP.
+func ParseSValues(spec string) ([]int, error) { return core.ParseSValues(spec) }
+
 // MaxOverlap returns the maximum pairwise hyperedge overlap of h — the
 // largest s for which the s-line graph is non-empty.
 func MaxOverlap(h *Hypergraph, workers int) int {

@@ -247,10 +247,16 @@ func TestBetweennessDeterministicAcrossWorkers(t *testing.T) {
 	g := randomGraph(r, 80, 200)
 	base := Betweenness(g, par.Options{Workers: 1})
 	for _, w := range []int{2, 4, 8} {
-		got := Betweenness(g, par.Options{Workers: w})
-		for i := range base {
-			if math.Abs(got[i]-base[i]) > 1e-7 {
-				t.Fatalf("workers=%d changed betweenness at node %d", w, i)
+		for _, strat := range []par.Strategy{par.Blocked, par.Cyclic} {
+			got := Betweenness(g, par.Options{Workers: w, Strategy: strat, Grain: 1})
+			for i := range base {
+				// Bit-identical, not approximately equal: the fixed
+				// slot reduction makes the summation order
+				// worker-independent.
+				if got[i] != base[i] {
+					t.Fatalf("workers=%d strategy=%v changed betweenness at node %d: %v != %v",
+						w, strat, i, got[i], base[i])
+				}
 			}
 		}
 	}

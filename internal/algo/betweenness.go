@@ -7,10 +7,21 @@ import (
 	"hyperline/internal/par"
 )
 
+// betweennessSlots is the fixed accumulator count of the Betweenness
+// reduction. Source vertices are assigned to slots cyclically
+// (src % betweennessSlots), each slot sums its sources' dependency
+// contributions in ascending source order, and the final reduction adds
+// slots in slot order — a float summation order that depends only on
+// the graph, never on the worker count, grain, or workload
+// distribution. It also caps the usable parallelism of one Betweenness
+// call (and its per-slot score memory), which the all-pairs cost
+// dwarfs in practice.
+const betweennessSlots = 64
+
 // Betweenness computes the betweenness centrality of every node using
-// Brandes' algorithm, parallelized over source vertices with per-worker
-// accumulators. On an s-line graph this is exactly the s-betweenness
-// centrality of §II-B: for hyperedge e,
+// Brandes' algorithm, parallelized over source vertices grouped into a
+// fixed number of accumulator slots. On an s-line graph this is exactly
+// the s-betweenness centrality of §II-B: for hyperedge e,
 //
 //	C(e) = Σ_{f≠g} σ_fg(e) / σ_fg
 //
@@ -19,16 +30,27 @@ import (
 // count hops). Scores count each unordered pair twice, matching the
 // standard undirected convention; use Normalize for the paper's
 // normalized scores.
+//
+// The result is bit-identical for any Workers/Grain/Strategy: the
+// floating-point accumulation order is fixed by the slot scheme above,
+// which the Stage-5 measures engine relies on for cacheable,
+// reproducible results.
 func Betweenness(g *graph.Graph, opt par.Options) []float64 {
 	n := g.NumNodes()
-	w := opt.EffectiveWorkers()
+	slots := betweennessSlots
+	if slots > n {
+		slots = n
+	}
+	total := make([]float64, n)
+	if n == 0 {
+		return total
+	}
 
 	type workspace struct {
 		sigma []float64 // shortest-path counts
 		dist  []int32
 		delta []float64 // dependency accumulation
 		order []uint32  // BFS visit order (stack)
-		score []float64 // per-worker centrality accumulator
 	}
 	pool := sync.Pool{New: func() any {
 		ws := &workspace{
@@ -36,36 +58,47 @@ func Betweenness(g *graph.Graph, opt par.Options) []float64 {
 			dist:  make([]int32, n),
 			delta: make([]float64, n),
 			order: make([]uint32, 0, n),
-			score: make([]float64, n),
 		}
 		for i := range ws.dist {
 			ws.dist[i] = -1
 		}
 		return ws
 	}}
-	perWorker := make([]*workspace, w)
-	var mu sync.Mutex
 
-	par.For(n, opt, func(worker, src int) {
-		ws := perWorker[worker]
-		if ws == nil {
-			ws = pool.Get().(*workspace)
-			perWorker[worker] = ws
+	// Slots are processed in waves of at most EffectiveWorkers
+	// concurrent slots, reusing one score buffer per wave lane: peak
+	// accumulator memory stays O(workers·n) as before, while the
+	// summation order — ascending sources within a slot, slots folded
+	// in ascending slot order — is untouched (waves fold slot
+	// waveStart, waveStart+1, ... before the next wave starts).
+	wave := opt.EffectiveWorkers()
+	if wave > slots {
+		wave = slots
+	}
+	buffers := make([][]float64, wave)
+	for waveStart := 0; waveStart < slots; waveStart += wave {
+		laneCount := wave
+		if slots-waveStart < laneCount {
+			laneCount = slots - waveStart
 		}
-		brandesFromSource(g, uint32(src), ws.sigma, ws.dist, ws.delta, &ws.order, ws.score)
-	})
-
-	// Mu guards nothing concurrent here (all workers joined), but
-	// keeps the reduction obviously safe if refactored.
-	mu.Lock()
-	defer mu.Unlock()
-	total := make([]float64, n)
-	for _, ws := range perWorker {
-		if ws == nil {
-			continue
-		}
-		for u, s := range ws.score {
-			total[u] += s
+		par.For(laneCount, opt, func(_, lane int) {
+			score := buffers[lane]
+			if score == nil {
+				score = make([]float64, n)
+				buffers[lane] = score
+			} else {
+				clear(score)
+			}
+			ws := pool.Get().(*workspace)
+			for src := waveStart + lane; src < n; src += slots {
+				brandesFromSource(g, uint32(src), ws.sigma, ws.dist, ws.delta, &ws.order, score)
+			}
+			pool.Put(ws)
+		})
+		for lane := 0; lane < laneCount; lane++ {
+			for u, s := range buffers[lane] {
+				total[u] += s
+			}
 		}
 	}
 	return total

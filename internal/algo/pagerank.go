@@ -49,7 +49,7 @@ func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
 	for u := range rank {
 		rank[u] = inv
 	}
-	w := opt.Par.EffectiveWorkers()
+	diffs := make([]float64, n)
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		// Dangling (degree-0) mass redistributes uniformly.
 		var danglingMass float64
@@ -59,8 +59,7 @@ func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
 			}
 		}
 		base := (1-opt.Damping)*inv + opt.Damping*danglingMass*inv
-		deltaPer := make([]float64, w)
-		par.For(n, opt.Par, func(worker, u int) {
+		par.For(n, opt.Par, func(_, u int) {
 			sum := 0.0
 			ids, _ := g.Neighbors(uint32(u))
 			for _, v := range ids {
@@ -68,11 +67,17 @@ func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
 			}
 			nv := base + opt.Damping*sum
 			next[u] = nv
-			deltaPer[worker] += math.Abs(nv - rank[u])
+			diffs[u] = math.Abs(nv - rank[u])
 		})
 		rank, next = next, rank
+		// The L1 convergence delta is summed serially in node order:
+		// per-worker partial sums would make the iteration count — and
+		// therefore the result — depend on how iterations were
+		// partitioned. With this, PageRank is bit-identical for any
+		// Workers/Grain/Strategy (the measures engine's determinism
+		// contract).
 		var delta float64
-		for _, d := range deltaPer {
+		for _, d := range diffs {
 			delta += d
 		}
 		if delta < opt.Tol {

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSValues fuzzes the s-list specification parser that every
+// user-facing surface (CLI -s, HTTP s=, warmup bodies) funnels into.
+// Invariants: no panic; on success the expansion is non-empty, within
+// the MaxSValues bound, all values ≥ 1, and rendering the values back
+// as an explicit list re-parses to the same distinct set.
+func FuzzParseSValues(f *testing.F) {
+	for _, seed := range []string{
+		"1", "8", "1,2,5", "2:6", "1,4:6,12", " 8 ", "0", "-3", "a",
+		"1:1024", "5:2", "1,,2", ":", "1:", ":4", "1:9999999",
+		"4294967296", "1,1,1,1", "10:9", "2 : 6", "+3", "0x10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		vals, err := ParseSValues(spec)
+		if err != nil {
+			if vals != nil {
+				t.Fatalf("error with non-nil values: %v / %v", vals, err)
+			}
+			return
+		}
+		if len(vals) == 0 || len(vals) > MaxSValues {
+			t.Fatalf("ParseSValues(%q) expanded to %d values", spec, len(vals))
+		}
+		for _, v := range vals {
+			if v < 1 {
+				t.Fatalf("ParseSValues(%q) produced s=%d < 1", spec, v)
+			}
+		}
+		if err := ValidateSValues(vals); err != nil {
+			t.Fatalf("ParseSValues(%q) output fails ValidateSValues: %v", spec, err)
+		}
+		// Round trip: the explicit-list rendering of the expansion must
+		// re-parse to the same distinct set.
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = strconv.Itoa(v)
+		}
+		again, err := ParseSValues(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", spec, err)
+		}
+		if !reflect.DeepEqual(DistinctS(again), DistinctS(vals)) {
+			t.Fatalf("round-trip of %q changed the distinct set: %v vs %v",
+				spec, DistinctS(again), DistinctS(vals))
+		}
+	})
+}
+
+// FuzzParseNotation fuzzes the Table III notation parser. Invariants:
+// no panic; on success the parsed configuration's Notation() is
+// canonical — re-parsing it yields the identical configuration.
+func FuzzParseNotation(f *testing.F) {
+	seeds := append(AllNotations(),
+		"auto", "spgemm", "ABN", "SBN", "3CA", "", "2B", "2BAX", "xBN", "2xN", "2Bx", "żBN")
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseNotation(s)
+		if err != nil {
+			return
+		}
+		round := cfg.Notation()
+		cfg2, err := ParseNotation(round)
+		if err != nil {
+			t.Fatalf("Notation() of parsed %q is unparseable: %q: %v", s, round, err)
+		}
+		if cfg2 != cfg {
+			t.Fatalf("notation round-trip drift: %q -> %+v -> %q -> %+v", s, cfg, round, cfg2)
+		}
+	})
+}

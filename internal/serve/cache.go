@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hyperline/internal/core"
+	"hyperline/internal/measure"
 )
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -16,16 +17,16 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key string
-	res *core.PipelineResult
+	val V
 }
 
-// Cache is a thread-safe LRU of pipeline results keyed by
-// (dataset, version, orientation, s, options-fingerprint) strings. The
-// cached *core.PipelineResult values are shared by reference — results
-// are immutable by convention, so all readers see the same object.
-type Cache struct {
+// lru is the thread-safe LRU core shared by the pipeline-result cache
+// and the measure cache. Values are shared by reference — cached
+// objects are immutable by convention, so all readers see the same
+// object.
+type lru[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used
@@ -36,65 +37,58 @@ type Cache struct {
 	evictions int64
 }
 
-// DefaultCacheEntries is the LRU capacity when none is configured.
-const DefaultCacheEntries = 128
-
-// NewCache returns an LRU cache holding up to capacity results
-// (DefaultCacheEntries if capacity <= 0).
-func NewCache(capacity int) *Cache {
-	if capacity <= 0 {
-		capacity = DefaultCacheEntries
-	}
-	return &Cache{
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
 	}
 }
 
-// Get returns the cached result for key, promoting it to most recently
+// Get returns the cached value for key, promoting it to most recently
 // used.
-func (c *Cache) Get(key string) (*core.PipelineResult, bool) {
+func (c *lru[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry[V]).val, true
 }
 
-// Put inserts (or refreshes) a result, evicting the least recently used
+// Put inserts (or refreshes) a value, evicting the least recently used
 // entry when over capacity.
-func (c *Cache) Put(key string, res *core.PipelineResult) {
+func (c *lru[V]) Put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry[V]{key: key, val: val})
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
 		c.evictions++
 	}
 }
 
-// Len returns the current number of cached results.
-func (c *Cache) Len() int {
+// Len returns the current number of cached values.
+func (c *lru[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
 // Stats snapshots hit/miss/eviction counters.
-func (c *Cache) Stats() CacheStats {
+func (c *lru[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
@@ -104,4 +98,57 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+}
+
+// DefaultCacheEntries is the pipeline-result LRU capacity when none is
+// configured.
+const DefaultCacheEntries = 128
+
+// Cache is a thread-safe LRU of pipeline results keyed by
+// (dataset, version, orientation, s, options-fingerprint) strings.
+type Cache struct{ lru[*core.PipelineResult] }
+
+// NewCache returns an LRU cache holding up to capacity results
+// (DefaultCacheEntries if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{*newLRU[*core.PipelineResult](capacity)}
+}
+
+// DefaultMeasureCacheEntries is the measure LRU capacity when none is
+// configured. Measure values are much smaller than pipeline results
+// (one vector or scalar vs a whole CSR graph), so the default is
+// proportionally larger.
+const DefaultMeasureCacheEntries = 1024
+
+// MeasureEntry is one cached measure evaluation: the value plus the
+// projection shape needed to serve a response (node→hyperedge mapping,
+// counts) without re-fetching — or recomputing — the projection. The
+// entry is self-contained so a measure hit stays O(1) even after the
+// underlying projection aged out of the pipeline LRU.
+type MeasureEntry struct {
+	Value *measure.Value
+	Nodes int
+	Edges int
+	// HyperedgeIDs is shared with the projection that produced the
+	// value (immutable by convention).
+	HyperedgeIDs []uint32
+}
+
+// MeasureCache is a thread-safe LRU of measure entries keyed by
+// (dataset, version, orientation, s, options-fingerprint, measure,
+// canonical-params) strings — the pipeline key extended by the measure
+// identity, so it can only hit where the underlying projection key
+// would.
+type MeasureCache struct{ lru[*MeasureEntry] }
+
+// NewMeasureCache returns an LRU cache holding up to capacity measure
+// entries (DefaultMeasureCacheEntries if capacity <= 0).
+func NewMeasureCache(capacity int) *MeasureCache {
+	if capacity <= 0 {
+		capacity = DefaultMeasureCacheEntries
+	}
+	return &MeasureCache{*newLRU[*MeasureEntry](capacity)}
 }

@@ -2,24 +2,26 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
-	"hyperline/internal/algo"
 	"hyperline/internal/core"
 	"hyperline/internal/hg"
 	"hyperline/internal/hgio"
-	"hyperline/internal/par"
-	"hyperline/internal/spectral"
+	"hyperline/internal/measure"
 )
 
 // NewHandler returns the hyperlined HTTP/JSON API over svc:
 //
 //	GET    /healthz
 //	GET    /v1/cache
+//	GET    /v1/measures
 //	GET    /v1/datasets
 //	PUT    /v1/datasets/{name}?format=adj|pairs|bin   (body = dataset)
 //	POST   /v1/datasets/{name}/load                   {"path": "..."}
@@ -30,28 +32,42 @@ import (
 //	GET    /v1/datasets/{name}/scliquegraph?s=N
 //	GET    /v1/datasets/{name}/slinegraphs?s=LIST
 //	GET    /v1/datasets/{name}/scliquegraphs?s=LIST
+//	GET    /v1/datasets/{name}/measures?s=LIST&measure=NAME[&source=H ...]
 //	GET    /v1/datasets/{name}/components?s=N
 //	GET    /v1/datasets/{name}/distances?s=N&source=H
-//	GET    /v1/datasets/{name}/centrality?s=N&kind=betweenness|closeness|harmonic|pagerank
+//	GET    /v1/datasets/{name}/centrality?s=N&kind=betweenness|closeness|harmonic|pagerank|eccentricity
 //	GET    /v1/datasets/{name}/connectivity?s=N
 //
-// The plural projection endpoints (and the warmup body's "s" field)
-// accept an s-list: a comma-separated mix of values and inclusive
-// lo:hi ranges, e.g. "1,4:6,12". The whole list is served as one
-// batched planner-driven pass; uncached members share a single
-// counting pass when the planner picks the ensemble.
+// The plural projection endpoints, the measures endpoint, and the
+// warmup body's "s" field accept an s-list: a comma-separated mix of
+// values and inclusive lo:hi ranges, e.g. "1,4:6,12". The whole list
+// is served as one batched planner-driven pass; uncached members share
+// a single counting pass when the planner picks the ensemble.
+//
+// /v1/measures lists the Stage-5 measure registry (name, doc, cost,
+// params); /v1/datasets/{name}/measures evaluates one measure across
+// the s-list, serving repeats from the measure cache. The four legacy
+// measure endpoints (components, distances, centrality, connectivity)
+// are thin views over the same engine and share its cache.
 //
 // Query/projection endpoints share the option parameters config (Table
 // III notation — extended with "3", "A"/"auto", "S"/"spgemm"), toplex,
 // nosqueeze, exact, and workers; measure endpoints additionally accept
-// dual=true to run against the s-clique graph.
+// dual=true to run against the s-clique graph, plus the parameters the
+// measure's schema declares (e.g. source for distances).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.CacheStats())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"pipeline": svc.CacheStats(),
+			"measures": svc.MeasureCacheStats(),
+		})
+	})
+	mux.HandleFunc("GET /v1/measures", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, measure.Infos())
 	})
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Datasets())
@@ -72,7 +88,7 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if !svc.Remove(r.PathValue("name")) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", r.PathValue("name")))
+			writeError(w, http.StatusNotFound, fmt.Errorf("serve: %w %q", ErrUnknownDataset, r.PathValue("name")))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
@@ -91,6 +107,9 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/datasets/{name}/scliquegraphs", func(w http.ResponseWriter, r *http.Request) {
 		handleProjectionBatch(svc, w, r, true)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/measures", func(w http.ResponseWriter, r *http.Request) {
+		handleMeasureSweep(svc, w, r)
 	})
 	mux.HandleFunc("GET /v1/datasets/{name}/components", func(w http.ResponseWriter, r *http.Request) {
 		handleMeasure(svc, w, r, measureComponents)
@@ -450,10 +469,113 @@ func boolParamDefault(r *http.Request, name string, def bool) (bool, error) {
 	return b, nil
 }
 
-// measureFn computes one s-measure payload from a cached projection.
-type measureFn func(r *http.Request, res *core.PipelineResult, workers int) (any, error)
+// measureParams extracts the query parameters a measure's schema
+// declares. Only declared names are read, so measure parameters can
+// never collide with the shared option parameters (s, config, workers,
+// ...).
+func measureParams(r *http.Request, m measure.Measure) map[string]string {
+	params := map[string]string{}
+	q := r.URL.Query()
+	for _, spec := range m.Params() {
+		if v := q.Get(spec.Name); v != "" {
+			params[spec.Name] = v
+		}
+	}
+	return params
+}
 
-func handleMeasure(svc *Service, w http.ResponseWriter, r *http.Request, fn measureFn) {
+// measureResponse serializes one measure evaluation of a sweep.
+type measureResponse struct {
+	S                int            `json:"s"`
+	Cached           bool           `json:"cached"`
+	ProjectionCached bool           `json:"projection_cached"`
+	Nodes            int            `json:"nodes"`
+	Edges            int            `json:"edges"`
+	HyperedgeIDs     []uint32       `json:"hyperedge_ids,omitempty"`
+	Value            *measure.Value `json:"value"`
+}
+
+// handleMeasureSweep serves GET .../measures?s=LIST&measure=NAME: one
+// measure evaluated across a whole s-list as a single batched request,
+// with per-s measure caching.
+func handleMeasureSweep(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	measureName := q.Get("measure")
+	if measureName == "" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: measure is required (registered: %s)", strings.Join(measure.Names(), ", ")))
+		return
+	}
+	m, err := measure.Get(measureName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := q.Get("s")
+	if spec == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: s is required (a value, list, or lo:hi range)"))
+		return
+	}
+	sweep, err := core.ParseSValues(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dual, err := boolParam(q.Get("dual"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, err := svc.MeasureSweep(name, dual, sweep, cfg, measureName, measureParams(r, m))
+	if err != nil {
+		writeError(w, measureErrStatus(err), err)
+		return
+	}
+	out := make([]measureResponse, len(results))
+	for i, res := range results {
+		out[i] = measureResponse{
+			S:                res.S,
+			Cached:           res.Cached,
+			ProjectionCached: res.ProjectionCached,
+			Nodes:            res.Nodes,
+			Edges:            res.Edges,
+			HyperedgeIDs:     res.HyperedgeIDs,
+			Value:            res.Value,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name,
+		"dual":    dual,
+		"measure": measureName,
+		"results": out,
+	})
+}
+
+// measureErrStatus maps a measure-engine error to an HTTP status:
+// unknown datasets are 404, everything else (unknown measure, bad
+// params, absent source hyperedge) is a client error.
+func measureErrStatus(err error) int {
+	if errors.Is(err, ErrUnknownDataset) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// legacyMeasure resolves one of the fixed measure endpoints to a
+// registry measure plus a payload shaper that preserves the endpoint's
+// historical response schema.
+type legacyMeasure func(r *http.Request) (measureName string, params map[string]string, shape func(*MeasureResult) any, err error)
+
+// handleMeasure serves the four legacy single-measure endpoints
+// through the measures engine, so they share its cache: the "cached"
+// flag now reports whether the measure value itself was reused.
+func handleMeasure(svc *Service, w http.ResponseWriter, r *http.Request, fn legacyMeasure) {
 	name := r.PathValue("name")
 	sVal, err := intParam(r, "s", 0)
 	if err != nil || sVal < 1 {
@@ -470,93 +592,103 @@ func handleMeasure(svc *Service, w http.ResponseWriter, r *http.Request, fn meas
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var res *core.PipelineResult
-	var cached bool
-	if dual {
-		res, cached, err = svc.SCliqueGraph(name, sVal, cfg)
-	} else {
-		res, cached, err = svc.SLineGraph(name, sVal, cfg)
-	}
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	payload, err := fn(r, res, cfg.Core.Workers)
+	measureName, params, shape, err := fn(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := svc.Measure(name, dual, sVal, cfg, measureName, params)
+	if err != nil {
+		writeError(w, measureErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": name,
 		"s":       sVal,
 		"dual":    dual,
-		"cached":  cached,
-		"result":  payload,
+		"cached":  res.Cached,
+		"result":  shape(res),
 	})
 }
 
-func measureComponents(_ *http.Request, res *core.PipelineResult, _ int) (any, error) {
-	cc := algo.ConnectedComponents(res.Graph)
-	members := cc.Members()
-	byHyperedge := make([][]uint32, len(members))
-	for i, ms := range members {
-		ids := make([]uint32, len(ms))
-		for j, u := range ms {
-			ids[j] = res.HyperedgeID(u)
+func measureComponents(_ *http.Request) (string, map[string]string, func(*MeasureResult) any, error) {
+	return "components", nil, func(res *MeasureResult) any {
+		count := 0
+		if res.Value.Scalar != nil {
+			count = int(*res.Value.Scalar)
 		}
-		byHyperedge[i] = ids
-	}
-	return map[string]any{"count": cc.Count, "members": byHyperedge}, nil
-}
-
-func measureDistances(r *http.Request, res *core.PipelineResult, _ int) (any, error) {
-	src, err := intParam(r, "source", -1)
-	if err != nil || src < 0 {
-		return nil, fmt.Errorf("serve: source must be a hyperedge ID")
-	}
-	node := -1
-	for u, id := range res.HyperedgeIDs {
-		if id == uint32(src) {
-			node = u
-			break
-		}
-	}
-	if node < 0 {
-		return nil, fmt.Errorf("serve: hyperedge %d has no node in this projection (no s-incident pair)", src)
-	}
-	return map[string]any{
-		"source":        src,
-		"hyperedge_ids": res.HyperedgeIDs,
-		"distances":     algo.BFSDistances(res.Graph, uint32(node)),
+		return map[string]any{"count": count, "members": res.Value.Groups}
 	}, nil
 }
 
-func measureCentrality(r *http.Request, res *core.PipelineResult, workers int) (any, error) {
+func measureDistances(r *http.Request) (string, map[string]string, func(*MeasureResult) any, error) {
+	raw := r.URL.Query().Get("source")
+	// Parsed here (not just passed through) to keep the endpoint's
+	// historical response schema: "source" is a JSON number.
+	src, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("serve: source must be a hyperedge ID")
+	}
+	return "distances", map[string]string{"source": raw}, func(res *MeasureResult) any {
+		return map[string]any{
+			"source":        src,
+			"hyperedge_ids": res.HyperedgeIDs,
+			"distances":     res.Value.Ints,
+		}
+	}, nil
+}
+
+// centralityKinds maps the centrality endpoint's kind parameter to
+// registry measures. The default kind is betweenness.
+var centralityKinds = map[string]string{
+	"betweenness":  "betweenness",
+	"closeness":    "closeness",
+	"harmonic":     "harmonic",
+	"pagerank":     "pagerank",
+	"eccentricity": "eccentricity",
+}
+
+func measureCentrality(r *http.Request) (string, map[string]string, func(*MeasureResult) any, error) {
 	kind := r.URL.Query().Get("kind")
-	popt := par.Options{Workers: workers}
-	var scores []float64
-	switch kind {
-	case "", "betweenness":
+	if kind == "" {
 		kind = "betweenness"
-		scores = algo.Normalize(algo.Betweenness(res.Graph, popt))
-	case "closeness":
-		scores = algo.ClosenessCentrality(res.Graph, popt)
-	case "harmonic":
-		scores = algo.HarmonicCentrality(res.Graph, popt)
-	case "pagerank":
-		scores = algo.PageRank(res.Graph, algo.PageRankOptions{Par: popt})
-	default:
-		return nil, fmt.Errorf("serve: unknown centrality kind %q", kind)
 	}
-	return map[string]any{
-		"kind":          kind,
-		"hyperedge_ids": res.HyperedgeIDs,
-		"scores":        scores,
+	measureName, ok := centralityKinds[kind]
+	if !ok {
+		// An unknown kind is a hard 400 with the menu — never a
+		// silent fallback to some default centrality.
+		kinds := make([]string, 0, len(centralityKinds))
+		for k := range centralityKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		return "", nil, nil, fmt.Errorf("serve: unknown centrality kind %q (want %s; see /v1/measures for the full registry)",
+			kind, strings.Join(kinds, ", "))
+	}
+	return measureName, nil, func(res *MeasureResult) any {
+		scores := res.Value.Scores
+		if scores == nil && res.Value.Ints != nil {
+			// Eccentricity is integer-valued; the endpoint's schema
+			// reports float scores.
+			scores = make([]float64, len(res.Value.Ints))
+			for i, v := range res.Value.Ints {
+				scores[i] = float64(v)
+			}
+		}
+		return map[string]any{
+			"kind":          kind,
+			"hyperedge_ids": res.HyperedgeIDs,
+			"scores":        scores,
+		}
 	}, nil
 }
 
-func measureConnectivity(_ *http.Request, res *core.PipelineResult, _ int) (any, error) {
-	return map[string]any{
-		"normalized_algebraic_connectivity": spectral.NormalizedAlgebraicConnectivity(res.Graph, spectral.Options{}),
+func measureConnectivity(_ *http.Request) (string, map[string]string, func(*MeasureResult) any, error) {
+	return "connectivity", nil, func(res *MeasureResult) any {
+		v := 0.0
+		if res.Value.Scalar != nil {
+			v = *res.Value.Scalar
+		}
+		return map[string]any{"normalized_algebraic_connectivity": v}
 	}, nil
 }

@@ -63,10 +63,16 @@ func TestHTTPHealthAndCache(t *testing.T) {
 	if !health["ok"] {
 		t.Fatal("health endpoint not ok")
 	}
-	var stats CacheStats
+	var stats struct {
+		Pipeline CacheStats        `json:"pipeline"`
+		Measures MeasureCacheStats `json:"measures"`
+	}
 	do(t, http.MethodGet, ts.URL+"/v1/cache", nil, http.StatusOK, &stats)
-	if stats.Capacity != DefaultCacheEntries {
-		t.Fatalf("bad cache stats %+v", stats)
+	if stats.Pipeline.Capacity != DefaultCacheEntries {
+		t.Fatalf("bad pipeline cache stats %+v", stats.Pipeline)
+	}
+	if stats.Measures.Capacity != DefaultMeasureCacheEntries {
+		t.Fatalf("bad measure cache stats %+v", stats.Measures)
 	}
 }
 

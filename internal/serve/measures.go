@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+
+	"hyperline/internal/core"
+	"hyperline/internal/measure"
+	"hyperline/internal/par"
+)
+
+// MeasureResult is one served measure evaluation: the cached entry
+// (value + projection shape) plus cache provenance for the measure
+// itself and the underlying projection.
+type MeasureResult struct {
+	// S is the overlap threshold the measure was evaluated at.
+	S int
+	// Entry is the measure value and the projection shape it was
+	// computed on (shared, immutable — do not mutate).
+	*MeasureEntry
+	// Cached reports whether the measure value itself was served
+	// without recomputation (measure-cache hit, or a concurrent
+	// identical request's value was shared via singleflight).
+	Cached bool
+	// ProjectionCached reports whether Stages 1-4 were skipped for
+	// the underlying projection (always true on a measure-cache hit:
+	// the projection is not even consulted).
+	ProjectionCached bool
+}
+
+// MeasureCacheStats extends the cache counters with the number of
+// actual measure evaluations the service has run — the ground truth
+// the caching tests (and capacity planning) compare hit counts
+// against.
+type MeasureCacheStats struct {
+	CacheStats
+	Computes int64 `json:"computes"`
+}
+
+// MeasureCacheStats snapshots the measure-cache counters.
+func (s *Service) MeasureCacheStats() MeasureCacheStats {
+	return MeasureCacheStats{
+		CacheStats: s.mcache.Stats(),
+		Computes:   s.measureComputes.Load(),
+	}
+}
+
+// measureKey extends a projection cache key with the measure identity:
+// a measure hit is only possible where the projection key would hit,
+// and replacing a dataset (version bump) invalidates both layers at
+// once.
+func measureKey(projKey, measureName string, p measure.Params) string {
+	return fmt.Sprintf("%s/measure=%s?%s", projKey, measureName, p.CanonicalString())
+}
+
+// measureFlight is a measure singleflight outcome: the entry plus
+// whether the flight itself served it from the measure cache.
+type measureFlight struct {
+	entry     *MeasureEntry
+	fromCache bool
+}
+
+// Measure evaluates the named measure on the s-line graph (or s-clique
+// graph, when dual) of the named dataset, serving both the projection
+// and the measure value from their caches when possible. Unknown
+// measures fail with the list of registered ones; params are validated
+// against the measure's schema before any pipeline work runs.
+func (s *Service) Measure(name string, dual bool, sVal int, cfg core.PipelineConfig, measureName string, params map[string]string) (*MeasureResult, error) {
+	out, err := s.MeasureSweep(name, dual, []int{sVal}, cfg, measureName, params)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// MeasureSweep evaluates the named measure across an s-sweep as one
+// batched request — the serving form of the paper's application tables
+// (component counts, diameters, and centralities reported per s).
+// Cached measure values are served as-is; the remaining s values share
+// one batched Stage 1-4 pass (one planner-driven core.RunBatch for the
+// uncached projections) followed by one Compute per s, each
+// deduplicated via singleflight and cached individually. Results are
+// ordered by ascending distinct s.
+func (s *Service) MeasureSweep(name string, dual bool, sValues []int, cfg core.PipelineConfig, measureName string, params map[string]string) ([]*MeasureResult, error) {
+	m, err := measure.Get(measureName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := measure.Canonicalize(m, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ValidateSValues(sValues); err != nil {
+		return nil, err
+	}
+	// The dataset snapshot (hypergraph + version) is read once and
+	// pinned through the whole sweep — including the projection batch
+	// below, via projectBatchAt — so every key derived here refers to
+	// the dataset as it was at this instant and a concurrent
+	// replacement can never mix two versions within one sweep.
+	h, version, err := s.reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
+
+	distinct := core.DistinctS(sValues)
+	out := make([]*MeasureResult, len(distinct))
+	missing := make([]int, 0, len(distinct))
+	for i, sVal := range distinct {
+		mk := measureKey(key(name, version, dual, sVal, cfg), measureName, p)
+		if e, ok := s.mcache.Get(mk); ok {
+			out[i] = &MeasureResult{S: sVal, MeasureEntry: e, Cached: true, ProjectionCached: true}
+		} else {
+			missing = append(missing, sVal)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	// One batched planner-driven pass fills every projection the
+	// uncached measures need (itself served from the projection cache
+	// where warm), pinned to the version read above.
+	projs, projCached, err := s.projectBatchAt(h, version, name, dual, missing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	popt := par.Options{Workers: cfg.Core.Workers, Grain: cfg.Core.Grain, Strategy: cfg.Core.Partition}
+	byS := make(map[int]*MeasureResult, len(missing))
+	for _, sVal := range missing {
+		res := projs[sVal]
+		mk := measureKey(key(name, version, dual, sVal, cfg), measureName, p)
+		v, err, shared := s.msf.Do(mk, func() (any, error) {
+			// Re-probe under the flight: an identical request may
+			// have cached the value between our miss and this call
+			// (singleflight forgets completed flights).
+			if e, ok := s.mcache.Get(mk); ok {
+				return measureFlight{entry: e, fromCache: true}, nil
+			}
+			s.measureComputes.Add(1)
+			val, err := m.Compute(res, p, popt)
+			if err != nil {
+				return nil, err
+			}
+			e := &MeasureEntry{
+				Value: val,
+				Nodes: res.Graph.NumNodes(),
+				Edges: res.Graph.NumEdges(),
+			}
+			// The node→hyperedge mapping only labels per-node
+			// vectors; scalar- and group-shaped values (diameter,
+			// components, connectivity) neither serialize it nor
+			// should pin it in the LRU after the projection evicts.
+			if val.Scores != nil || val.Ints != nil {
+				e.HyperedgeIDs = res.HyperedgeIDs
+			}
+			s.mcache.Put(mk, e)
+			return measureFlight{entry: e}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		f := v.(measureFlight)
+		byS[sVal] = &MeasureResult{
+			S:                sVal,
+			MeasureEntry:     f.entry,
+			Cached:           shared || f.fromCache,
+			ProjectionCached: projCached[sVal],
+		}
+	}
+	for i, sVal := range distinct {
+		if out[i] == nil {
+			out[i] = byS[sVal]
+		}
+	}
+	return out, nil
+}

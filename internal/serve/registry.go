@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,11 @@ import (
 	"hyperline/internal/hg"
 	"hyperline/internal/hgio"
 )
+
+// ErrUnknownDataset marks lookups of unregistered dataset names; the
+// HTTP layer maps it to 404 (vs 400 for malformed requests) via
+// errors.Is.
+var ErrUnknownDataset = errors.New("unknown dataset")
 
 // DatasetInfo describes one registered dataset.
 type DatasetInfo struct {
@@ -78,7 +84,7 @@ func (r *Registry) Get(name string) (*hg.Hypergraph, uint64, error) {
 	defer r.mu.RUnlock()
 	d, ok := r.byName[name]
 	if !ok {
-		return nil, 0, fmt.Errorf("serve: unknown dataset %q", name)
+		return nil, 0, fmt.Errorf("serve: %w %q", ErrUnknownDataset, name)
 	}
 	return d.h, d.version, nil
 }
@@ -89,7 +95,7 @@ func (r *Registry) Stats(name string) (hg.Stats, error) {
 	defer r.mu.RUnlock()
 	d, ok := r.byName[name]
 	if !ok {
-		return hg.Stats{}, fmt.Errorf("serve: unknown dataset %q", name)
+		return hg.Stats{}, fmt.Errorf("serve: %w %q", ErrUnknownDataset, name)
 	}
 	return d.stats, nil
 }

@@ -21,6 +21,7 @@ package serve
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hyperline/internal/core"
 	"hyperline/internal/hg"
@@ -31,21 +32,32 @@ type Config struct {
 	// CacheEntries is the LRU capacity in cached pipeline results
 	// (0 = DefaultCacheEntries).
 	CacheEntries int
+	// MeasureCacheEntries is the LRU capacity in cached measure
+	// values (0 = DefaultMeasureCacheEntries).
+	MeasureCacheEntries int
 }
 
-// Service ties the dataset registry, the result cache, and request
-// deduplication together. All methods are safe for concurrent use.
+// Service ties the dataset registry, the result cache, the Stage-5
+// measure cache, and request deduplication together. All methods are
+// safe for concurrent use.
 type Service struct {
-	reg   *Registry
-	cache *Cache
-	sf    singleflight
+	reg    *Registry
+	cache  *Cache
+	sf     singleflight
+	mcache *MeasureCache
+	msf    singleflight
+	// measureComputes counts actual measure evaluations (cache misses
+	// that ran Compute) — the instrumentation the cache tests assert
+	// against, surfaced in MeasureCacheStats.
+	measureComputes atomic.Int64
 }
 
 // New returns an empty service.
 func New(cfg Config) *Service {
 	return &Service{
-		reg:   NewRegistry(),
-		cache: NewCache(cfg.CacheEntries),
+		reg:    NewRegistry(),
+		cache:  NewCache(cfg.CacheEntries),
+		mcache: NewMeasureCache(cfg.MeasureCacheEntries),
 	}
 }
 
@@ -176,6 +188,19 @@ func (s *Service) SCliqueGraphs(name string, sValues []int, cfg core.PipelineCon
 }
 
 func (s *Service) projectBatch(name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
+	h, version, err := s.reg.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.projectBatchAt(h, version, name, dual, sValues, cfg)
+}
+
+// projectBatchAt is projectBatch against an explicitly pinned dataset
+// snapshot (hypergraph + version): every cache key it derives refers to
+// that version, so callers that already resolved the registry (the
+// measure engine, which must not mix versions within one sweep) stay
+// consistent even if the dataset is concurrently replaced.
+func (s *Service) projectBatchAt(h *hg.Hypergraph, version uint64, name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
 	if len(sValues) == 0 {
 		return nil, nil, fmt.Errorf("serve: at least one s value is required")
 	}
@@ -183,10 +208,6 @@ func (s *Service) projectBatch(name string, dual bool, sValues []int, cfg core.P
 		if sVal < 1 {
 			return nil, nil, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
 		}
-	}
-	h, version, err := s.reg.Get(name)
-	if err != nil {
-		return nil, nil, err
 	}
 	if dual {
 		h = h.Dual()

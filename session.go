@@ -1,19 +1,44 @@
 package hyperline
 
 import (
+	"hyperline/internal/measure"
 	"hyperline/internal/serve"
 )
 
 // CacheStats is a snapshot of a Session's result-cache counters.
 type CacheStats = serve.CacheStats
 
+// MeasureCacheStats is a snapshot of a Session's measure-cache
+// counters, including the number of actual measure evaluations run.
+type MeasureCacheStats = serve.MeasureCacheStats
+
 // DatasetInfo describes one dataset registered in a Session.
 type DatasetInfo = serve.DatasetInfo
+
+// MeasureInfo describes one registered Stage-5 measure (name, doc,
+// cost hint, parameter schema).
+type MeasureInfo = measure.Info
+
+// MeasureValue is one measure result: a scalar, a per-node vector
+// (float or integer), or node groups in input hyperedge IDs, depending
+// on the measure's shape. Values served from a Session are shared and
+// must be treated as immutable.
+type MeasureValue = measure.Value
+
+// MeasureResult is one served measure evaluation: the value, the
+// projection shape it was computed on, and cache provenance.
+type MeasureResult = serve.MeasureResult
+
+// Measures lists every registered Stage-5 measure, sorted by name.
+func Measures() []MeasureInfo { return measure.Infos() }
 
 // SessionOptions configures a Session.
 type SessionOptions struct {
 	// CacheEntries is the LRU capacity in cached results (0 = 128).
 	CacheEntries int
+	// MeasureCacheEntries is the LRU capacity in cached measure
+	// values (0 = 1024).
+	MeasureCacheEntries int
 }
 
 // Session is a long-lived facade over the pipeline with a shared result
@@ -32,7 +57,10 @@ type Session struct {
 
 // NewSession returns an empty session.
 func NewSession(opt SessionOptions) *Session {
-	return &Session{svc: serve.New(serve.Config{CacheEntries: opt.CacheEntries})}
+	return &Session{svc: serve.New(serve.Config{
+		CacheEntries:        opt.CacheEntries,
+		MeasureCacheEntries: opt.MeasureCacheEntries,
+	})}
 }
 
 // Add registers h under name, replacing any previous dataset with that
@@ -91,5 +119,39 @@ func (s *Session) Warmup(name string, sValues []int, opt Options) (int, error) {
 	return computed, err
 }
 
+// SMeasure evaluates a registered Stage-5 measure on the s-line graph
+// of the named dataset: the projection comes from the result cache and
+// the measure value from the measure cache, so a repeated measure
+// request on a warmed dataset recomputes nothing. params are validated
+// against the measure's schema (see Measures); unknown measures fail
+// with the list of registered ones.
+func (s *Session) SMeasure(name string, sVal int, measureName string, params map[string]string, opt Options) (*MeasureResult, error) {
+	return s.svc.Measure(name, false, sVal, opt.pipeline(), measureName, params)
+}
+
+// SCliqueMeasure evaluates a measure on the s-clique graph (the s-line
+// graph of the dual hypergraph), cached like SMeasure.
+func (s *Session) SCliqueMeasure(name string, sVal int, measureName string, params map[string]string, opt Options) (*MeasureResult, error) {
+	return s.svc.Measure(name, true, sVal, opt.pipeline(), measureName, params)
+}
+
+// SMeasureSweep evaluates one measure across an s-sweep as a single
+// batched request — the library form of the paper's per-s application
+// tables. Uncached projections share one planner-driven batch pass;
+// each measure value is cached per s, so later SMeasure calls hit.
+// Results are ordered by ascending distinct s.
+func (s *Session) SMeasureSweep(name string, sValues []int, measureName string, params map[string]string, opt Options) ([]*MeasureResult, error) {
+	return s.svc.MeasureSweep(name, false, sValues, opt.pipeline(), measureName, params)
+}
+
+// SCliqueMeasureSweep evaluates one measure across an s-sweep of
+// s-clique graphs, batched and cached like SMeasureSweep.
+func (s *Session) SCliqueMeasureSweep(name string, sValues []int, measureName string, params map[string]string, opt Options) ([]*MeasureResult, error) {
+	return s.svc.MeasureSweep(name, true, sValues, opt.pipeline(), measureName, params)
+}
+
 // CacheStats snapshots the session's result-cache counters.
 func (s *Session) CacheStats() CacheStats { return s.svc.CacheStats() }
+
+// MeasureCacheStats snapshots the session's measure-cache counters.
+func (s *Session) MeasureCacheStats() MeasureCacheStats { return s.svc.MeasureCacheStats() }
