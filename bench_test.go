@@ -12,6 +12,7 @@
 package hyperline_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -83,7 +84,7 @@ func BenchmarkTable1SOverlapAlgo1(b *testing.B) {
 	cfg := cfgFor(b, "1CN")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -92,7 +93,7 @@ func BenchmarkTable1SOverlapAlgo2(b *testing.B) {
 	cfg := cfgFor(b, "2BA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -102,7 +103,7 @@ func BenchmarkFig4SCliqueEnsemble(b *testing.B) {
 	h := experiments.DisGeNetAnalog(1).Dual()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.EnsembleEdges(h, experiments.Fig4SValues, core.Config{Store: core.TLSDense})
+		core.EnsembleEdges(context.Background(), h, experiments.Fig4SValues, core.Config{Store: core.TLSDense})
 	}
 }
 
@@ -110,7 +111,7 @@ func BenchmarkFig4SCliqueEnsemble(b *testing.B) {
 
 func BenchmarkTable2PageRank(b *testing.B) {
 	h := experiments.DisGeNetAnalog(1)
-	res := core.Run(h, 10, core.PipelineConfig{})
+	res, _ := core.Run(context.Background(), h, 10, core.PipelineConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		algo.PageRank(res.Graph, algo.PageRankOptions{})
@@ -120,7 +121,7 @@ func BenchmarkTable2PageRank(b *testing.B) {
 // ---- Figure 5: betweenness on the virology 5-line graph ----
 
 func BenchmarkFig5Betweenness(b *testing.B) {
-	res := core.Run(experiments.VirologyAnalog(1), 5, core.PipelineConfig{})
+	res, _ := core.Run(context.Background(), experiments.VirologyAnalog(1), 5, core.PipelineConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		algo.Betweenness(res.Graph, par.Options{})
@@ -134,12 +135,12 @@ func BenchmarkFig6Ensemble(b *testing.B) {
 	sValues := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.EnsembleEdges(h, sValues, core.Config{Store: core.TLSDense})
+		core.EnsembleEdges(context.Background(), h, sValues, core.Config{Store: core.TLSDense})
 	}
 }
 
 func BenchmarkFig6Connectivity(b *testing.B) {
-	res := core.Run(cond(), 8, core.PipelineConfig{})
+	res, _ := core.Run(context.Background(), cond(), 8, core.PipelineConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spectral.NormalizedAlgebraicConnectivity(res.Graph, spectral.Options{})
@@ -165,7 +166,7 @@ func benchmarkFig7(b *testing.B, notation string) {
 	cfg := cfgFor(b, notation)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(h, 8, core.PipelineConfig{Core: cfg})
+		core.Run(context.Background(), h, 8, core.PipelineConfig{Core: cfg})
 	}
 }
 
@@ -190,7 +191,7 @@ func benchmarkFig8(b *testing.B, threads int) {
 	cfg.Workers = threads
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -207,7 +208,7 @@ func benchmarkFig9(b *testing.B, files int) {
 	cfg := core.Config{Workers: files, Store: core.TLSDense}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -222,7 +223,7 @@ func BenchmarkFig10VisitCounting(b *testing.B) {
 	cfg := cfgFor(b, "2CA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, stats := core.SLineEdges(h, 8, cfg)
+		_, stats, _ := core.SLineEdges(context.Background(), h, 8, cfg)
 		if len(stats.WedgesPerWorker) == 0 {
 			b.Fatal("no per-worker stats")
 		}
@@ -271,7 +272,7 @@ func BenchmarkFig11Algo1CA(b *testing.B) {
 	cfg := cfgFor(b, "1CA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(h, 8, core.PipelineConfig{Core: cfg})
+		core.Run(context.Background(), h, 8, core.PipelineConfig{Core: cfg})
 	}
 }
 
@@ -280,7 +281,7 @@ func BenchmarkFig11Algo2BA(b *testing.B) {
 	cfg := cfgFor(b, "2BA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(h, 8, core.PipelineConfig{Core: cfg})
+		core.Run(context.Background(), h, 8, core.PipelineConfig{Core: cfg})
 	}
 }
 
@@ -291,7 +292,7 @@ func benchmarkTable5(b *testing.B, s int) {
 	cfg := cfgFor(b, "2CA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := core.Run(h, s, core.PipelineConfig{Core: cfg})
+		res, _ := core.Run(context.Background(), h, s, core.PipelineConfig{Core: cfg})
 		algo.LabelPropagationCC(res.Graph, par.Options{})
 	}
 }
@@ -307,7 +308,7 @@ func BenchmarkAblationCounterStoreMap(b *testing.B) {
 	h := web()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, core.Config{Store: core.MapPerIteration})
+		core.SLineEdges(context.Background(), h, 8, core.Config{Store: core.MapPerIteration})
 	}
 }
 
@@ -315,7 +316,7 @@ func BenchmarkAblationCounterStoreTLSDense(b *testing.B) {
 	h := web()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, core.Config{Store: core.TLSDense})
+		core.SLineEdges(context.Background(), h, 8, core.Config{Store: core.TLSDense})
 	}
 }
 
@@ -323,7 +324,7 @@ func BenchmarkAblationCounterStoreTLSHash(b *testing.B) {
 	h := web()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, core.Config{Store: core.TLSHash})
+		core.SLineEdges(context.Background(), h, 8, core.Config{Store: core.TLSHash})
 	}
 }
 
@@ -331,7 +332,7 @@ func BenchmarkAblationCounterStoreAuto(b *testing.B) {
 	h := web()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, core.Config{Store: core.StoreAuto})
+		core.SLineEdges(context.Background(), h, 8, core.Config{Store: core.StoreAuto})
 	}
 }
 
@@ -340,7 +341,7 @@ func BenchmarkAblationPruningOn(b *testing.B) {
 	h := lj()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 32, core.Config{Store: core.TLSDense})
+		core.SLineEdges(context.Background(), h, 32, core.Config{Store: core.TLSDense})
 	}
 }
 
@@ -348,7 +349,7 @@ func BenchmarkAblationPruningOff(b *testing.B) {
 	h := lj()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 32, core.Config{Store: core.TLSDense, DisablePruning: true})
+		core.SLineEdges(context.Background(), h, 32, core.Config{Store: core.TLSDense, DisablePruning: true})
 	}
 }
 
@@ -358,7 +359,7 @@ func BenchmarkAblationShortCircuitOn(b *testing.B) {
 	cfg := core.Config{Algorithm: core.AlgoSetIntersection}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -367,7 +368,7 @@ func BenchmarkAblationShortCircuitOff(b *testing.B) {
 	cfg := core.Config{Algorithm: core.AlgoSetIntersection, DisableShortCircuit: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -377,7 +378,7 @@ func benchmarkGrain(b *testing.B, grain int) {
 	cfg := core.Config{Store: core.TLSDense, Grain: grain}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.SLineEdges(h, 8, cfg)
+		core.SLineEdges(context.Background(), h, 8, cfg)
 	}
 }
 
@@ -391,7 +392,7 @@ func BenchmarkAblationToplexOff(b *testing.B) {
 	h := nestedHypergraph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(h, 2, core.PipelineConfig{})
+		core.Run(context.Background(), h, 2, core.PipelineConfig{})
 	}
 }
 
@@ -399,7 +400,7 @@ func BenchmarkAblationToplexOn(b *testing.B) {
 	h := nestedHypergraph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(h, 2, core.PipelineConfig{Toplex: true})
+		core.Run(context.Background(), h, 2, core.PipelineConfig{Toplex: true})
 	}
 }
 
@@ -445,7 +446,7 @@ func BenchmarkBatchSweepPlanner(b *testing.B) {
 	h := lj()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.RunBatch(h, batchSweep, core.PipelineConfig{})
+		core.RunBatch(context.Background(), h, batchSweep, core.PipelineConfig{})
 	}
 }
 
@@ -457,7 +458,7 @@ func BenchmarkBatchSweepPinnedPerS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range batchSweep {
-			core.Run(h, s, cfg)
+			core.Run(context.Background(), h, s, cfg)
 		}
 	}
 }
@@ -469,7 +470,7 @@ func BenchmarkBatchSweepSpGEMM(b *testing.B) {
 	cfg := core.PipelineConfig{Core: core.Config{Algorithm: core.AlgoSpGEMM}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.RunBatch(h, batchSweep, cfg)
+		core.RunBatch(context.Background(), h, batchSweep, cfg)
 	}
 }
 
@@ -482,7 +483,7 @@ var stage4Nodes int
 func stage4Input() ([]graph.Edge, int) {
 	stage4Once.Do(func() {
 		h := lj()
-		stage4Edges, _ = core.SLineEdges(h, 8, core.Config{})
+		stage4Edges, _, _ = core.SLineEdges(context.Background(), h, 8, core.Config{})
 		stage4Nodes = h.NumEdges()
 	})
 	return stage4Edges, stage4Nodes
@@ -501,6 +502,55 @@ func BenchmarkStage4BuildSorted(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.BuildSorted(nodes, edges, true, par.Options{})
+	}
+}
+
+// ---- v2 Query API: Execute wrapper overhead vs the bare pipeline ----
+
+// fig8Pipeline is the Fig-8 configuration (2CA, 8 workers, dense
+// counters) as a core.PipelineConfig.
+func fig8Pipeline(b *testing.B) core.PipelineConfig {
+	cfg := cfgFor(b, "2CA")
+	cfg.Workers = 8
+	return core.PipelineConfig{Core: cfg}
+}
+
+// BenchmarkFig8CoreRun drives the Fig-8 query straight through the
+// pipeline entry — the baseline the Execute wrapper is measured
+// against.
+func BenchmarkFig8CoreRun(b *testing.B) {
+	h := lj()
+	pc := fig8Pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(context.Background(), h, 8, pc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Execute drives the identical query through the v2
+// Execute surface (validation, context plumbing, QueryResult
+// assembly). The wrapper overhead over BenchmarkFig8CoreRun is the
+// price of the unified API and must stay under 2%.
+func BenchmarkFig8Execute(b *testing.B) {
+	h := lj()
+	q := hyperline.Query{
+		Hypergraph: h,
+		S:          []int{8},
+		Options: hyperline.Options{
+			Algorithm: hyperline.AlgoHashmap,
+			Partition: hyperline.Cyclic,
+			Relabel:   hyperline.RelabelAscending,
+			Counters:  hyperline.StoreDense,
+			Workers:   8,
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hyperline.Execute(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -8,11 +8,19 @@
 //
 //	hyperlined [-addr :8080] [-cache 128] [-measure-cache 1024]
 //	           [-load name=path ...] [-warmup 1:4]
+//	           [-request-timeout 30s] [-drain-timeout 10s]
 //
 // Each -load registers a dataset at startup (format by extension:
 // ".pairs", ".bin", or adjacency lines); -warmup precomputes the given
 // s-sweep (a value, comma list, or lo:hi range, e.g. "1,4:8") for every
 // loaded dataset as one batched planner-driven pass.
+//
+// -request-timeout bounds every request via its context: past it the
+// pipeline aborts cooperatively and the client receives 504 (a
+// per-request "timeout_ms" on POST /v2/query composes with it —
+// whichever expires first wins). On SIGINT/SIGTERM the server stops
+// accepting connections and drains in-flight requests for up to
+// -drain-timeout before exiting; a second signal aborts immediately.
 //
 // Endpoints (see internal/serve.NewHandler):
 //
@@ -20,17 +28,23 @@
 //	curl 'localhost:8080/v1/datasets/web/slinegraph?s=4'
 //	curl 'localhost:8080/v1/datasets/web/components?s=4'
 //	curl 'localhost:8080/v1/datasets/web/measures?s=1:4&measure=diameter'
+//	curl -X POST -d '{"dataset":"web","s":"1:4","measure":"diameter","timeout_ms":500}' 'localhost:8080/v2/query'
 //	curl 'localhost:8080/v1/measures'
 //	curl 'localhost:8080/v1/cache'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"hyperline/internal/core"
 	"hyperline/internal/serve"
@@ -50,11 +64,25 @@ func (l *loadFlags) Set(v string) error {
 	return nil
 }
 
+// withRequestTimeout bounds every request's context, so a stuck or
+// oversized query cannot hold a handler goroutine past the deadline:
+// the pipeline under it aborts cooperatively and the handler answers
+// 504.
+func withRequestTimeout(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", serve.DefaultCacheEntries, "LRU capacity in cached pipeline results")
 	mcache := flag.Int("measure-cache", serve.DefaultMeasureCacheEntries, "LRU capacity in cached measure values")
 	warmup := flag.String("warmup", "", "comma-separated s values to precompute for every loaded dataset")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request timeout applied via the request context (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to register at startup, as name=path (repeatable)")
 	flag.Parse()
@@ -75,7 +103,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, d := range svc.Datasets() {
-			n, _, err := svc.Warmup(d.Name, false, sweep, core.PipelineConfig{})
+			n, _, err := svc.Warmup(context.Background(), d.Name, false, sweep, core.PipelineConfig{})
 			if err != nil {
 				log.Fatalf("hyperlined: warmup %s: %v", d.Name, err)
 			}
@@ -83,8 +111,42 @@ func main() {
 		}
 	}
 
+	handler := serve.NewHandler(svc)
+	if *reqTimeout > 0 {
+		handler = withRequestTimeout(handler, *reqTimeout)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	// SIGINT/SIGTERM starts a graceful drain: Shutdown stops accepting
+	// and waits for in-flight requests; if the drain window expires,
+	// srv.Close severs the remaining connections, which cancels their
+	// request contexts and aborts their pipelines cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("hyperlined listening on %s (cache capacity %d)", *addr, *cache)
-	if err := http.ListenAndServe(*addr, serve.NewHandler(svc)); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C aborts hard
+		log.Printf("hyperlined: shutdown signal received, draining for up to %v", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			// Drain window expired with requests still in flight:
+			// close their connections (cancelling their contexts) and
+			// report the unclean exit.
+			srv.Close()
+			log.Printf("hyperlined: drain window expired: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("hyperlined: drained cleanly")
 	}
 }

@@ -8,6 +8,12 @@
 //	slinegraph -in data.hgr -s 8 [-config auto] [-dual] [-toplex]
 //	           [-workers N] [-metrics cc,bc,pagerank,connectivity]
 //	           [-measure NAME [-param k=v] [-top K]] [-out edges.txt]
+//	           [-timeout 30s]
+//
+// -timeout bounds the whole run via the root context: the pipeline and
+// the per-s measure loop abort cooperatively on expiry, partial-sweep
+// diagnostics (how many s values completed, elapsed time) go to
+// stderr, and the exit status is non-zero.
 //
 // -s accepts a single value ("8"), a comma-separated list ("1,2,5"),
 // an inclusive range ("2:6"), or any mix ("1,4:6"). Multi-s sweeps run
@@ -27,6 +33,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -68,7 +76,16 @@ func main() {
 	params := paramFlags{}
 	flag.Var(params, "param", "measure parameter, as key=value (repeatable)")
 	out := flag.String("out", "", "optionally write the s-line edge list(s) here (multi-s sweeps prefix each line with s)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	start := time.Now()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *measureName == "help" {
 		for _, info := range measure.Infos() {
@@ -131,11 +148,28 @@ func main() {
 		Workers:   *workers,
 		Toplex:    *toplex,
 	}
-	results := hyperline.SLineGraphs(h, sweep, opt)
 	distinct := core.DistinctS(sweep)
+	qr, err := hyperline.Execute(ctx, hyperline.Query{Hypergraph: h, S: sweep, Options: opt})
+	if err != nil {
+		if isContextErr(err) {
+			// The batched Stage 1-4 pass is all-or-nothing: no s value
+			// completed.
+			timeoutDiag(start, 0, len(distinct), *timeout, err)
+		}
+		fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
+		os.Exit(2)
+	}
+	results := make(map[int]*hyperline.Result, len(qr.Entries))
+	for _, e := range qr.Entries {
+		results[e.S] = e.Result
+	}
 
 	if sweepMeasure != nil {
-		if err := emitSweepTable(results, distinct, sweepMeasure, sweepParams, *top, *workers); err != nil {
+		done, err := emitSweepTable(ctx, results, distinct, sweepMeasure, sweepParams, *top, *workers)
+		if err != nil {
+			if isContextErr(err) {
+				timeoutDiag(start, done, len(distinct), *timeout, err)
+			}
 			fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
 			os.Exit(2)
 		}
@@ -152,7 +186,17 @@ func main() {
 	}
 
 	multi := len(distinct) > 1
-	for _, sVal := range distinct {
+	for k, sVal := range distinct {
+		if err := ctx.Err(); err != nil {
+			// Everything is computed by now — only the reporting loop
+			// is being cut off. Flush what was already written so the
+			// partial -out file really is trustworthy up to this s.
+			if outBuf != nil {
+				outBuf.Flush()
+				outFile.Close()
+			}
+			timeoutDiag(start, k, len(distinct), *timeout, err)
+		}
 		res := results[sVal]
 		fmt.Fprintf(diag, "s=%d line graph: %d nodes, %d edges\n", sVal, res.Graph.NumNodes(), res.Graph.NumEdges())
 		fmt.Fprintf(diag, "plan: %s (%s)\n", res.Plan.Strategy, res.Plan.Reason)
@@ -190,16 +234,38 @@ func main() {
 	}
 }
 
+// isContextErr reports whether err is a cancellation or deadline
+// failure of the root context.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// timeoutDiag prints partial-sweep diagnostics to stderr on context
+// expiry and exits non-zero: how far the sweep got, how long it ran,
+// and the configured limit — the operator-facing trail of a query that
+// was deliberately cut off.
+func timeoutDiag(start time.Time, completed, total int, timeout time.Duration, err error) {
+	what := "cancelled"
+	if errors.Is(err, context.DeadlineExceeded) {
+		what = "timed out"
+	}
+	fmt.Fprintf(os.Stderr, "slinegraph: %s after %v (limit %v): %d/%d s values completed; partial output above this line is trustworthy, the rest was aborted\n",
+		what, time.Since(start).Round(time.Millisecond), timeout, completed, total)
+	os.Exit(1)
+}
+
 // emitSweepTable evaluates the resolved measure on every projection of
 // the sweep and writes the paper-style table to stdout — the same
-// code path the golden-file tests pin byte-for-byte.
-func emitSweepTable(results map[int]*hyperline.Result, distinct []int, m measure.Measure, p measure.Params, top, workers int) error {
+// code path the golden-file tests pin byte-for-byte. It returns how
+// many s values finished evaluating, for partial-sweep diagnostics
+// when the context expires mid-sweep.
+func emitSweepTable(ctx context.Context, results map[int]*hyperline.Result, distinct []int, m measure.Measure, p measure.Params, top, workers int) (int, error) {
 	rows := make([]measure.SweepRow, 0, len(distinct))
-	for _, sVal := range distinct {
+	for completed, sVal := range distinct {
 		res := results[sVal]
-		val, err := m.Compute(res, p, par.Options{Workers: workers})
+		val, err := m.Compute(ctx, res, p, par.Options{Workers: workers})
 		if err != nil {
-			return fmt.Errorf("s=%d: %w", sVal, err)
+			return completed, fmt.Errorf("s=%d: %w", sVal, err)
 		}
 		rows = append(rows, measure.SweepRow{
 			S:            sVal,
@@ -209,7 +275,7 @@ func emitSweepTable(results map[int]*hyperline.Result, distinct []int, m measure
 			Value:        val,
 		})
 	}
-	return measure.WriteSweepTable(os.Stdout, m.Name(), p, top, rows)
+	return len(distinct), measure.WriteSweepTable(os.Stdout, m.Name(), p, top, rows)
 }
 
 func printMetrics(res *hyperline.Result, metrics string, workers int) error {

@@ -209,8 +209,12 @@ func (o Options) par() par.Options {
 // preprocessing (with optional relabel-by-degree), optional toplex
 // simplification, the s-overlap computation, and ID squeezing. Node u
 // of the result graph represents input hyperedge res.HyperedgeID(u).
+//
+// Deprecated: use Execute with a Query — it adds cancellation,
+// deadlines, batching, measures, and per-s errors. SLineGraph remains
+// as a thin wrapper and produces identical output.
 func SLineGraph(h *Hypergraph, s int, opt Options) *Result {
-	return core.Run(h, s, opt.pipeline())
+	return legacyBatch(h, KindLine, []int{s}, opt)[clampS(s)]
 }
 
 // SLineGraphs computes the s-line graphs for every distinct s in
@@ -219,23 +223,31 @@ func SLineGraph(h *Hypergraph, s int, opt Options) *Result {
 // (Algorithm 3) or per-s passes serve the batch. The result maps each
 // distinct s (clamped to ≥ 1) to its projection; res.Plan records the
 // decision.
+//
+// Deprecated: use Execute with a Query, whose QueryResult keeps the
+// sweep ordered and carries per-s errors and cache flags.
 func SLineGraphs(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
-	return core.RunBatch(h, sValues, opt.pipeline())
+	return legacyBatch(h, KindLine, sValues, opt)
 }
 
 // SCliqueGraphs computes the s-clique graphs (s-line graphs of the dual
 // hypergraph) for every distinct s in sValues, batched like
 // SLineGraphs.
+//
+// Deprecated: use Execute with a Query{Kind: KindClique}.
 func SCliqueGraphs(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
-	return core.RunBatch(h.Dual(), sValues, opt.pipeline())
+	return legacyBatch(h, KindClique, sValues, opt)
 }
 
 // SLineGraphEnsemble computes an ensemble of s-line graphs for every
 // distinct s in sValues with a single counting pass (Algorithm 3
 // pinned). Prefer SLineGraphs, which lets the planner fall back to
 // per-s passes when the ensemble's counter memory is unaffordable.
+//
+// Deprecated: use Execute with Query.Options.Algorithm = AlgoEnsemble.
 func SLineGraphEnsemble(h *Hypergraph, sValues []int, opt Options) map[int]*Result {
-	return core.RunEnsemble(h, sValues, opt.pipeline())
+	opt.Algorithm = AlgoEnsemble
+	return legacyBatch(h, KindLine, sValues, opt)
 }
 
 // SCliqueGraph computes the s-clique graph: the s-line graph of the
@@ -243,8 +255,19 @@ func SLineGraphEnsemble(h *Hypergraph, sValues []int, opt Options) map[int]*Resu
 // hyperedges. The 1-clique graph is the clique expansion (§III-H).
 // Node u of the result graph represents input vertex res.HyperedgeID(u)
 // (hyperedges of the dual are vertices of H).
+//
+// Deprecated: use Execute with a Query{Kind: KindClique}.
 func SCliqueGraph(h *Hypergraph, s int, opt Options) *Result {
-	return core.Run(h.Dual(), s, opt.pipeline())
+	return legacyBatch(h, KindClique, []int{s}, opt)[clampS(s)]
+}
+
+// clampS mirrors the historical v1 leniency: s values below 1 are
+// treated as 1.
+func clampS(s int) int {
+	if s < 1 {
+		return 1
+	}
+	return s
 }
 
 // SConnectedComponents computes the s-connected components of an

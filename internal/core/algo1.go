@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hyperline/internal/hg"
 	"hyperline/internal/par"
 )
@@ -17,6 +19,7 @@ type worker1 struct {
 	seen  []uint32
 	stamp uint32
 	pos   []uint32 // per-vertex resumable suffix cursors (may be nil)
+	stop  *stopFlag
 }
 
 // setIntersectionEdges is Algorithm 1, the prior state-of-the-art
@@ -25,12 +28,16 @@ type worker1 struct {
 // the two hyperedges' vertex lists, with the paper's heuristics:
 // degree-based pruning, per-source candidate de-duplication,
 // short-circuited intersections, and upper-triangle traversal.
-func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
+// Cancellation is polled per outer iteration and per wedge source
+// vertex, matching Algorithm 2's granularity.
+func setIntersectionEdges(ctx context.Context, h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats, error) {
 	m := h.NumEdges()
 	w := numWorkers(cfg)
+	flag := watchContext(ctx)
 	workers := make([]worker1, w)
 	for i := range workers {
 		workers[i].seen = make([]uint32, m)
+		workers[i].stop = flag
 	}
 	for i, pos := range newUpperCaches(w, h.NumVertices()) {
 		workers[i].pos = pos
@@ -38,6 +45,9 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 
 	par.For(m, cfg.parOptions(), func(worker, i int) {
 		st := &workers[worker]
+		if st.stop.Stop() {
+			return
+		}
 		ei := uint32(i)
 		if !cfg.DisablePruning && h.EdgeSize(ei) < s {
 			st.pruned++
@@ -51,6 +61,9 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 		start := len(st.edges)
 		eiVerts := h.EdgeVertices(ei)
 		for _, vk := range eiVerts {
+			if st.stop.Stop() {
+				return // cancelled mid-iteration: partial output is discarded
+			}
 			for _, ej := range upper(h, vk, ei, st.pos) {
 				st.wedges++
 				if st.seen[ej] == st.stamp {
@@ -78,6 +91,9 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 		// (U, V)-sorted for the parallel merge.
 		sortSegmentByV(st.edges[start:])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 
 	stats := Stats{WedgesPerWorker: make([]int64, len(workers))}
 	lists := make([][]Edge, len(workers))
@@ -90,7 +106,7 @@ func setIntersectionEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 	}
 	edges := mergeWorkerEdges(lists, cfg.parOptions())
 	stats.Edges = int64(len(edges))
-	return edges, stats
+	return edges, stats, nil
 }
 
 // NaiveAllPairs is the textbook "ijk" all-pairs construction used as a

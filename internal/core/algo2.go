@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 
 	"hyperline/internal/hg"
@@ -16,14 +17,22 @@ import (
 //
 // s must be ≥ 1. The returned edge list is sorted by (U, V), deduped
 // with U < V, and is deterministic for a given hypergraph regardless of
-// cfg — it satisfies graph.BuildSorted's input contract.
-func SLineEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
+// cfg — it satisfies graph.BuildSorted's input contract. A cancelled
+// ctx aborts cooperatively with ctx.Err(); a nil ctx means
+// context.Background().
+func SLineEdges(ctx context.Context, h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s < 1 {
 		s = 1
 	}
 	dec := planFor(h, []int{s}, cfg)
-	lists, stats := dec.Strategy.Edges(h, []int{s}, dec.Config)
-	return lists[s], stats
+	lists, stats, err := dec.Strategy.Edges(ctx, h, []int{s}, dec.Config)
+	if err != nil {
+		return nil, stats, err
+	}
+	return lists[s], stats, nil
 }
 
 func numWorkers(cfg Config) int {
@@ -141,13 +150,19 @@ type worker2 struct {
 	touched []uint32 // TLSDense: indices of non-zero counters
 	table   *oaTable // TLSHash: open-addressing counter table
 	pos     []uint32 // per-vertex resumable suffix cursors (may be nil)
+	stop    *stopFlag
 }
 
 // hashmapEdges is Algorithm 2 of the paper: for each hyperedge ei the
 // overlaps with all 2-hop neighbor hyperedges ej > ei are accumulated in
 // a counter keyed by ej; pairs reaching s are emitted immediately. No
 // set intersection is ever performed.
-func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
+//
+// Cancellation is polled once per outer iteration and once per wedge
+// source vertex, so cancel latency is bounded by a single neighbor-list
+// scan; counters left dirty by an aborted iteration are never read
+// again because every later iteration also sees the tripped flag.
+func hashmapEdges(ctx context.Context, h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats, error) {
 	m := h.NumEdges()
 	w := numWorkers(cfg)
 	store := cfg.Store
@@ -155,6 +170,7 @@ func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 	if store == StoreAuto {
 		store, hint = chooseStore(h, w)
 	}
+	flag := watchContext(ctx)
 	workers := make([]worker2, w)
 	switch store {
 	case TLSDense:
@@ -172,12 +188,18 @@ func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 			workers[i].table = newOATable(hint, m)
 		}
 	}
+	for i := range workers {
+		workers[i].stop = flag
+	}
 	for i, pos := range newUpperCaches(w, h.NumVertices()) {
 		workers[i].pos = pos
 	}
 
 	par.For(m, cfg.parOptions(), func(worker, i int) {
 		st := &workers[worker]
+		if st.stop.Stop() {
+			return
+		}
 		ei := uint32(i)
 		if !cfg.DisablePruning && h.EdgeSize(ei) < s {
 			st.pruned++
@@ -197,8 +219,12 @@ func hashmapEdges(h *hg.Hypergraph, s int, cfg Config) ([]Edge, Stats) {
 		// sorting this iteration's segment by V is all it takes.
 		sortSegmentByV(st.edges[start:])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 
-	return collect(workers, cfg)
+	edges, stats := collect(workers, cfg)
+	return edges, stats, nil
 }
 
 // hashmapIterMap processes one hyperedge with a per-iteration hashmap
@@ -207,6 +233,9 @@ func hashmapIterMap(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	overlap := make(map[uint32]uint32)
 	wedges := int64(0)
 	for _, vk := range h.EdgeVertices(ei) {
+		if st.stop.Stop() {
+			return // cancelled mid-iteration: partial output is discarded
+		}
 		neighbors := upper(h, vk, ei, st.pos)
 		wedges += int64(len(neighbors))
 		for _, ej := range neighbors {
@@ -227,6 +256,11 @@ func hashmapIterDense(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	counts, touched := st.counts, st.touched[:0]
 	wedges := int64(0)
 	for _, vk := range h.EdgeVertices(ei) {
+		if st.stop.Stop() {
+			// Cancelled mid-iteration: the dirty counters are never
+			// read again (every later iteration sees the flag too).
+			return
+		}
 		neighbors := upper(h, vk, ei, st.pos)
 		wedges += int64(len(neighbors))
 		for _, ej := range neighbors {
@@ -252,6 +286,9 @@ func hashmapIterHash(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	t := st.table
 	wedges := int64(0)
 	for _, vk := range h.EdgeVertices(ei) {
+		if st.stop.Stop() {
+			return // cancelled mid-iteration; dirty slots are never read
+		}
 		neighbors := upper(h, vk, ei, st.pos)
 		wedges += int64(len(neighbors))
 		for _, ej := range neighbors {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -29,12 +30,12 @@ func TestAssemblyDeterminism(t *testing.T) {
 		numEdges := 10 + rng.Intn(150)
 		h := randomHypergraph(rng, numVertices, numEdges, 10)
 		for _, s := range []int{1, 2, 3} {
-			reference, _ := SLineEdges(h, s, Config{Workers: 1})
+			reference, _, _ := SLineEdges(context.Background(), h, s, Config{Workers: 1})
 			for _, store := range stores {
 				for _, strat := range strategies {
 					for _, w := range workerCounts {
 						cfg := Config{Workers: w, Partition: strat, Store: store, Grain: 1 + rng.Intn(64)}
-						got, _ := SLineEdges(h, s, cfg)
+						got, _, _ := SLineEdges(context.Background(), h, s, cfg)
 						if !edgeListsEqual(reference, got) {
 							t.Fatalf("trial %d s=%d: %v workers=%d store=%v grain=%d diverges from single-worker reference",
 								trial, s, strat, w, store, cfg.Grain)
@@ -46,7 +47,7 @@ func TestAssemblyDeterminism(t *testing.T) {
 			for _, strat := range strategies {
 				for _, w := range workerCounts {
 					cfg := Config{Algorithm: AlgoSetIntersection, DisableShortCircuit: true, Workers: w, Partition: strat}
-					got, _ := SLineEdges(h, s, cfg)
+					got, _, _ := SLineEdges(context.Background(), h, s, cfg)
 					if !edgeListsEqual(reference, got) {
 						t.Fatalf("trial %d s=%d: algo1 %v workers=%d diverges", trial, s, strat, w)
 					}
@@ -92,7 +93,7 @@ func TestAssemblyOutputContract(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	h := randomHypergraph(rng, 80, 120, 10)
 	for _, store := range []CounterStore{StoreAuto, MapPerIteration, TLSDense, TLSHash} {
-		edges, _ := SLineEdges(h, 1, Config{Workers: 8, Store: store})
+		edges, _, _ := SLineEdges(context.Background(), h, 1, Config{Workers: 8, Store: store})
 		for i, e := range edges {
 			if e.U >= e.V {
 				t.Fatalf("store %v: edge %d violates U < V: %+v", store, i, e)
@@ -112,7 +113,7 @@ func TestTLSHashStore(t *testing.T) {
 		h := randomHypergraph(rng, 60, 100, 8)
 		for _, s := range []int{1, 2} {
 			want := NaiveAllPairs(h, s)
-			got, _ := SLineEdges(h, s, Config{Store: TLSHash, Workers: 3})
+			got, _, _ := SLineEdges(context.Background(), h, s, Config{Store: TLSHash, Workers: 3})
 			if !edgeListsEqual(want, got) {
 				t.Fatalf("trial %d s=%d: TLSHash diverges from oracle", trial, s)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -35,7 +36,7 @@ func TestPaperFigure2(t *testing.T) {
 		4: nil,
 	}
 	for s, wantEdges := range want {
-		got, stats := SLineEdges(h, s, Config{})
+		got, stats, _ := SLineEdges(context.Background(), h, s, Config{})
 		if !reflect.DeepEqual(got, wantEdges) && !(len(got) == 0 && len(wantEdges) == 0) {
 			t.Errorf("s=%d: got %v, want %v", s, got, wantEdges)
 		}
@@ -50,7 +51,7 @@ func TestAlgorithm1MatchesOnExample(t *testing.T) {
 	h := paperExample()
 	for s := 1; s <= 4; s++ {
 		want := NaiveAllPairs(h, s)
-		got, stats := SLineEdges(h, s, Config{Algorithm: AlgoSetIntersection, DisableShortCircuit: true})
+		got, stats, _ := SLineEdges(context.Background(), h, s, Config{Algorithm: AlgoSetIntersection, DisableShortCircuit: true})
 		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
 			t.Errorf("s=%d: algo1 got %v, want %v", s, got, want)
 		}
@@ -106,26 +107,26 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 			{Algorithm: AlgoSetIntersection, DisableShortCircuit: true, DisablePruning: true},
 		}
 		for _, cfg := range configs {
-			got, _ := SLineEdges(h, s, cfg)
+			got, _, _ := SLineEdges(context.Background(), h, s, cfg)
 			if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
 				t.Logf("config %+v disagrees: got %v want %v", cfg, got, want)
 				return false
 			}
 		}
 		// Short-circuit mode: same pairs, weights may be clamped at s.
-		scGot, _ := SLineEdges(h, s, Config{Algorithm: AlgoSetIntersection})
+		scGot, _, _ := SLineEdges(context.Background(), h, s, Config{Algorithm: AlgoSetIntersection})
 		if !reflect.DeepEqual(stripWeights(scGot), wantPairs) &&
 			!(len(scGot) == 0 && len(wantPairs) == 0) {
 			t.Logf("short-circuit pairs disagree")
 			return false
 		}
 		// Ensemble must match per-s runs exactly (weights included).
-		ens, ensStats := EnsembleEdges(h, []int{s, s + 1, 1}, Config{})
+		ens, ensStats, _ := EnsembleEdges(context.Background(), h, []int{s, s + 1, 1}, Config{})
 		if ensStats.SetIntersections != 0 {
 			return false
 		}
 		for _, si := range []int{s, s + 1, 1} {
-			single, _ := SLineEdges(h, si, Config{})
+			single, _, _ := SLineEdges(context.Background(), h, si, Config{})
 			if !reflect.DeepEqual(ens[si], single) && !(len(ens[si]) == 0 && len(single) == 0) {
 				t.Logf("ensemble s=%d disagrees", si)
 				return false
@@ -141,10 +142,10 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	h := randomHypergraph(r, 100, 150, 10)
-	base, _ := SLineEdges(h, 3, Config{Workers: 1})
+	base, _, _ := SLineEdges(context.Background(), h, 3, Config{Workers: 1})
 	for _, workers := range []int{2, 4, 8, 16} {
 		for _, strat := range []par.Strategy{par.Blocked, par.Cyclic} {
-			got, _ := SLineEdges(h, 3, Config{Workers: workers, Partition: strat})
+			got, _, _ := SLineEdges(context.Background(), h, 3, Config{Workers: workers, Partition: strat})
 			if !reflect.DeepEqual(got, base) {
 				t.Fatalf("workers=%d strategy=%v changed the result", workers, strat)
 			}
@@ -156,13 +157,13 @@ func TestDegreePruningStats(t *testing.T) {
 	// Hyperedges smaller than s must be pruned, and pruning must not
 	// change results.
 	h := paperExample()
-	_, stats := SLineEdges(h, 3, Config{})
+	_, stats, _ := SLineEdges(context.Background(), h, 3, Config{})
 	// Sizes are 3,3,5,2: exactly one edge (size 2) is pruned at s=3.
 	if stats.Pruned != 1 {
 		t.Fatalf("pruned = %d, want 1", stats.Pruned)
 	}
-	withP, _ := SLineEdges(h, 3, Config{})
-	withoutP, _ := SLineEdges(h, 3, Config{DisablePruning: true})
+	withP, _, _ := SLineEdges(context.Background(), h, 3, Config{})
+	withoutP, _, _ := SLineEdges(context.Background(), h, 3, Config{DisablePruning: true})
 	if !reflect.DeepEqual(withP, withoutP) {
 		t.Fatal("pruning changed the result")
 	}
@@ -171,7 +172,7 @@ func TestDegreePruningStats(t *testing.T) {
 func TestWedgeStatsConsistency(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	h := randomHypergraph(r, 60, 80, 6)
-	_, stats := SLineEdges(h, 1, Config{Workers: 4})
+	_, stats, _ := SLineEdges(context.Background(), h, 1, Config{Workers: 4})
 	var sum int64
 	for _, w := range stats.WedgesPerWorker {
 		sum += w
@@ -184,7 +185,7 @@ func TestWedgeStatsConsistency(t *testing.T) {
 	}
 	// Wedge count is invariant across counter stores at s=1 (no
 	// pruning difference).
-	_, stats2 := SLineEdges(h, 1, Config{Store: TLSDense, Workers: 4})
+	_, stats2, _ := SLineEdges(context.Background(), h, 1, Config{Store: TLSDense, Workers: 4})
 	if stats2.Wedges != stats.Wedges {
 		t.Fatalf("wedges differ across stores: %d vs %d", stats2.Wedges, stats.Wedges)
 	}
@@ -192,15 +193,15 @@ func TestWedgeStatsConsistency(t *testing.T) {
 
 func TestEnsembleEmptyAndDuplicateS(t *testing.T) {
 	h := paperExample()
-	empty, _ := EnsembleEdges(h, nil, Config{})
+	empty, _, _ := EnsembleEdges(context.Background(), h, nil, Config{})
 	if len(empty) != 0 {
 		t.Fatal("ensemble of no s values should be empty")
 	}
-	dup, _ := EnsembleEdges(h, []int{2, 2, 2}, Config{})
+	dup, _, _ := EnsembleEdges(context.Background(), h, []int{2, 2, 2}, Config{})
 	if len(dup) != 1 {
 		t.Fatalf("duplicate s values produced %d entries, want 1", len(dup))
 	}
-	single, _ := SLineEdges(h, 2, Config{})
+	single, _, _ := SLineEdges(context.Background(), h, 2, Config{})
 	if !reflect.DeepEqual(dup[2], single) {
 		t.Fatal("ensemble disagrees with single run")
 	}
@@ -208,8 +209,8 @@ func TestEnsembleEmptyAndDuplicateS(t *testing.T) {
 
 func TestSBelowOneClamped(t *testing.T) {
 	h := paperExample()
-	a, _ := SLineEdges(h, 0, Config{})
-	b, _ := SLineEdges(h, 1, Config{})
+	a, _, _ := SLineEdges(context.Background(), h, 0, Config{})
+	b, _, _ := SLineEdges(context.Background(), h, 1, Config{})
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("s=0 should behave as s=1")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -43,7 +44,7 @@ func TestDirectCCMatchesPipeline(t *testing.T) {
 		h := randomHypergraph(r, 25, 35, 7)
 		s := 1 + int(sRaw%4)
 		direct := SConnectedComponentsDirect(h, s)
-		edges, _ := SLineEdges(h, s, Config{})
+		edges, _, _ := SLineEdges(context.Background(), h, s, Config{})
 		want := directOracle(h, s, edges)
 		for e := 0; e < h.NumEdges(); e++ {
 			if direct[e] != want[e] {

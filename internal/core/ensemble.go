@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hyperline/internal/hg"
 	"hyperline/internal/par"
 )
@@ -24,21 +26,33 @@ import (
 // wedge-pair count. Degree-based pruning uses sMin.
 //
 // The result maps each distinct s (clamped to ≥ 1) to its sorted edge
-// list. Duplicate s values are computed once.
-func EnsembleEdges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+// list. Duplicate s values are computed once. A cancelled ctx aborts
+// cooperatively with ctx.Err() (checked inside the counting pass and
+// between filtrations); a nil ctx means context.Background().
+func EnsembleEdges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	distinct := DistinctS(sValues)
 	result := make(map[int][]Edge, len(distinct))
 	if len(distinct) == 0 {
-		return result, Stats{WedgesPerWorker: make([]int64, numWorkers(cfg))}
+		return result, Stats{WedgesPerWorker: make([]int64, numWorkers(cfg))}, nil
 	}
 	sMin := distinct[0] // DistinctS sorts ascending
 
-	base, stats := hashmapEdges(h, sMin, cfg)
+	base, stats, err := hashmapEdges(ctx, h, sMin, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
 	result[sMin] = base
 
 	rest := distinct[1:]
 	lists := make([][]Edge, len(rest))
+	flag := watchContext(ctx)
 	par.For(len(rest), par.Options{Workers: cfg.Workers}, func(_, k int) {
+		if flag.Stop() {
+			return
+		}
 		s := rest[k]
 		var edges []Edge
 		for _, e := range base {
@@ -48,9 +62,12 @@ func EnsembleEdges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge,
 		}
 		lists[k] = edges
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	for k, s := range rest {
 		result[s] = lists[k]
 		stats.Edges += int64(len(lists[k]))
 	}
-	return result, stats
+	return result, stats, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"hyperline/internal/graph"
@@ -101,22 +102,45 @@ func prepare(h *hg.Hypergraph, cfg PipelineConfig) prepared {
 // builds one graph per s. The result maps each distinct clamped s to
 // its projection.
 //
+// Cancellation is cooperative: the pipeline checks ctx between stages
+// and the Stage-3 strategies poll it inside their worker loops, so a
+// cancelled or expired context aborts within roughly one worker
+// iteration plus one Stage-4 build and RunBatch returns ctx.Err(). A
+// nil ctx is treated as context.Background().
+//
 // Stage timings on each result share the pipeline-wide preprocessing
 // and s-overlap costs; squeeze time is per s. Stats are aggregated
 // across the batch (multi-s strategies may share one counting pass).
-func RunBatch(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*PipelineResult {
+func RunBatch(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg PipelineConfig) (map[int]*PipelineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := map[int]*PipelineResult{}
 	if len(sValues) == 0 {
-		return out
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	p := prepare(h, cfg)
+	// Checkpoint between Stages 1-2 and Stage 3.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	dec := planFor(p.work, sValues, cfg.Core)
 	t2 := time.Now()
-	lists, stats := dec.Strategy.Edges(p.work, sValues, dec.Config)
+	lists, stats, err := dec.Strategy.Edges(ctx, p.work, sValues, dec.Config)
+	if err != nil {
+		return nil, err
+	}
 	overlapTime := time.Since(t2)
 
 	for s, edges := range lists {
+		// Checkpoint between per-s Stage-4 builds.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t3 := time.Now()
 		// Every registered strategy emits each list sorted and deduped
 		// with U < V, so Stage 4 takes the parallel zero-copy path.
@@ -140,7 +164,7 @@ func RunBatch(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*Pipe
 		}
 		out[s] = r
 	}
-	return out
+	return out, nil
 }
 
 // Run executes Stages 1-4 of the framework on h for a single s:
@@ -148,19 +172,24 @@ func RunBatch(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*Pipe
 // simplification, the planned s-overlap computation, and ID squeezing /
 // graph construction. Stage 5 (s-measure computation) is performed by
 // the caller on the returned graph — any standard graph algorithm
-// applies.
-func Run(h *hg.Hypergraph, s int, cfg PipelineConfig) *PipelineResult {
+// applies. Cancellation follows the RunBatch contract: a cancelled ctx
+// aborts cooperatively and returns ctx.Err().
+func Run(ctx context.Context, h *hg.Hypergraph, s int, cfg PipelineConfig) (*PipelineResult, error) {
 	if s < 1 {
 		s = 1
 	}
-	return RunBatch(h, []int{s}, cfg)[s]
+	out, err := RunBatch(ctx, h, []int{s}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out[s], nil
 }
 
 // RunEnsemble executes the pipeline with Algorithm 3 pinned, producing
 // one result per distinct s value from a single counting pass. Use
 // RunBatch for the planner-driven default, which picks the ensemble
 // only when its counter memory is affordable.
-func RunEnsemble(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) map[int]*PipelineResult {
+func RunEnsemble(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg PipelineConfig) (map[int]*PipelineResult, error) {
 	cfg.Core.Algorithm = AlgoEnsemble
-	return RunBatch(h, sValues, cfg)
+	return RunBatch(ctx, h, sValues, cfg)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -46,7 +47,7 @@ func TestPipelineRelabelInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg.DisableShortCircuit = true
-		res := Run(h, s, PipelineConfig{Core: cfg})
+		res, _ := Run(context.Background(), h, s, PipelineConfig{Core: cfg})
 		if got := pipelinePairs(res); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s: pipeline result differs from oracle (got %d pairs, want %d)",
 				notation, len(got), len(want))
@@ -56,7 +57,7 @@ func TestPipelineRelabelInvariance(t *testing.T) {
 
 func TestPipelineSqueeze(t *testing.T) {
 	h := paperExample()
-	res := Run(h, 3, PipelineConfig{})
+	res, _ := Run(context.Background(), h, 3, PipelineConfig{})
 	// s=3 line graph has edges {1,3} and {2,3} → 3 non-isolated nodes.
 	if res.Graph.NumNodes() != 3 {
 		t.Fatalf("squeezed nodes = %d, want 3", res.Graph.NumNodes())
@@ -75,7 +76,7 @@ func TestPipelineSqueeze(t *testing.T) {
 
 func TestPipelineNoSqueeze(t *testing.T) {
 	h := paperExample()
-	res := Run(h, 3, PipelineConfig{NoSqueeze: true})
+	res, _ := Run(context.Background(), h, 3, PipelineConfig{NoSqueeze: true})
 	if res.Graph.NumNodes() != 4 {
 		t.Fatalf("nodes = %d, want 4 (unsqueezed)", res.Graph.NumNodes())
 	}
@@ -89,7 +90,7 @@ func TestPipelineToplexStage(t *testing.T) {
 	// {a,b,c,d,e}; only toplexes {3, 4} survive simplification, so the
 	// 1-line graph of the simplified hypergraph has one edge (3-4).
 	h := paperExample()
-	res := Run(h, 1, PipelineConfig{Toplex: true})
+	res, _ := Run(context.Background(), h, 1, PipelineConfig{Toplex: true})
 	if res.Graph.NumEdges() != 1 {
 		t.Fatalf("toplex 1-line graph edges = %d, want 1", res.Graph.NumEdges())
 	}
@@ -104,7 +105,7 @@ func TestPipelineToplexStage(t *testing.T) {
 
 func TestPipelineTimingsPopulated(t *testing.T) {
 	h := paperExample()
-	res := Run(h, 2, PipelineConfig{})
+	res, _ := Run(context.Background(), h, 2, PipelineConfig{})
 	if res.Timings.Total() <= 0 {
 		t.Fatal("timings not recorded")
 	}
@@ -117,12 +118,12 @@ func TestRunEnsembleMatchesRun(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	h := randomHypergraph(r, 40, 50, 7)
 	sValues := []int{1, 2, 3}
-	ens := RunEnsemble(h, sValues, PipelineConfig{})
+	ens, _ := RunEnsemble(context.Background(), h, sValues, PipelineConfig{})
 	if len(ens) != 3 {
 		t.Fatalf("ensemble results = %d, want 3", len(ens))
 	}
 	for _, s := range sValues {
-		single := Run(h, s, PipelineConfig{})
+		single, _ := Run(context.Background(), h, s, PipelineConfig{})
 		if !reflect.DeepEqual(pipelinePairs(ens[s]), pipelinePairs(single)) {
 			t.Fatalf("s=%d: ensemble pipeline differs from single pipeline", s)
 		}
@@ -133,7 +134,7 @@ func TestRunEnsembleWithRelabel(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	h := randomHypergraph(r, 40, 50, 7)
 	cfg := PipelineConfig{Core: Config{Relabel: hg.RelabelAscending}}
-	ens := RunEnsemble(h, []int{2}, cfg)
+	ens, _ := RunEnsemble(context.Background(), h, []int{2}, cfg)
 	want := naivePairs(h, 2)
 	if got := pipelinePairs(ens[2]); !reflect.DeepEqual(got, want) {
 		t.Fatal("relabeled ensemble pipeline differs from oracle")
@@ -154,7 +155,7 @@ func TestPipelineProperty(t *testing.T) {
 		case 2:
 			cfg.Core.Relabel = hg.RelabelDescending
 		}
-		res := Run(h, s, cfg)
+		res, _ := Run(context.Background(), h, s, cfg)
 		return reflect.DeepEqual(pipelinePairs(res), naivePairs(h, s))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -167,7 +168,7 @@ func TestPipelineProperty(t *testing.T) {
 func TestPipelineWeightsExact(t *testing.T) {
 	r := rand.New(rand.NewSource(12))
 	h := randomHypergraph(r, 30, 40, 8)
-	res := Run(h, 2, PipelineConfig{Core: Config{Relabel: hg.RelabelDescending}})
+	res, _ := Run(context.Background(), h, 2, PipelineConfig{Core: Config{Relabel: hg.RelabelDescending}})
 	for _, e := range res.Graph.Edges() {
 		u, v := res.HyperedgeID(e.U), res.HyperedgeID(e.V)
 		if want := h.Inc(u, v); int(e.W) != want {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,7 +30,13 @@ type Strategy interface {
 	// sValues. Stats are aggregated across the whole call (per-s work
 	// is not broken out; multi-s strategies may share one counting
 	// pass).
-	Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats)
+	//
+	// Cancellation is cooperative: implementations must poll ctx at
+	// bounded granularity inside their worker loops (at most one outer
+	// iteration between checks) and return ctx.Err() once it is
+	// cancelled, discarding partial output. The returned error is nil
+	// or a context error — strategies have no other failure modes.
+	Edges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats, error)
 }
 
 // strategies is the registry the planner and the pipeline resolve
@@ -79,8 +86,8 @@ type setIntersectionStrategy struct{}
 func (setIntersectionStrategy) Algorithm() Algorithm { return AlgoSetIntersection }
 func (setIntersectionStrategy) Name() string         { return "set-intersection" }
 
-func (setIntersectionStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
-	return perS(h, sValues, cfg, setIntersectionEdges)
+func (setIntersectionStrategy) Edges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats, error) {
+	return perS(ctx, h, sValues, cfg, setIntersectionEdges)
 }
 
 // hashmapStrategy is Algorithm 2. Multi-s queries run one pass per s —
@@ -91,8 +98,8 @@ type hashmapStrategy struct{}
 func (hashmapStrategy) Algorithm() Algorithm { return AlgoHashmap }
 func (hashmapStrategy) Name() string         { return "hashmap" }
 
-func (hashmapStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
-	return perS(h, sValues, cfg, hashmapEdges)
+func (hashmapStrategy) Edges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats, error) {
+	return perS(ctx, h, sValues, cfg, hashmapEdges)
 }
 
 // ensembleStrategy is Algorithm 3: one counting pass serves every
@@ -102,8 +109,8 @@ type ensembleStrategy struct{}
 func (ensembleStrategy) Algorithm() Algorithm { return AlgoEnsemble }
 func (ensembleStrategy) Name() string         { return "ensemble" }
 
-func (ensembleStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
-	return EnsembleEdges(h, sValues, cfg)
+func (ensembleStrategy) Edges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats, error) {
+	return EnsembleEdges(ctx, h, sValues, cfg)
 }
 
 // spgemmStrategy computes s-overlaps as upper-triangular Gustavson
@@ -112,17 +119,27 @@ func (ensembleStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[
 // multiply. Weights are exact overlap counts, identical to Algorithm
 // 2's. Stats report only the emitted edge count: the SpGEMM kernel has
 // no wedge or intersection counters.
+//
+// Cancellation granularity is coarser here than in the native
+// strategies: the multiply kernel runs to completion, with checkpoints
+// before it and between the per-s filtrations.
 type spgemmStrategy struct{}
 
 func (spgemmStrategy) Algorithm() Algorithm { return AlgoSpGEMM }
 func (spgemmStrategy) Name() string         { return "spgemm" }
 
-func (spgemmStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats) {
+func (spgemmStrategy) Edges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config) (map[int][]Edge, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var stats Stats
 	distinct := DistinctS(sValues)
 	result := make(map[int][]Edge, len(distinct))
 	if len(distinct) == 0 {
-		return result, stats
+		return result, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	l, err := spgemm.MultiplyUpper(spgemm.EdgeView(h), spgemm.VertexView(h), cfg.parOptions())
 	if err != nil {
@@ -130,27 +147,43 @@ func (spgemmStrategy) Edges(h *hg.Hypergraph, sValues []int, cfg Config) (map[in
 		// programming error, not a query error.
 		panic(err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	lists := make([][]Edge, len(distinct))
+	flag := watchContext(ctx)
 	par.For(len(distinct), par.Options{Workers: cfg.Workers}, func(_, k int) {
+		if flag.Stop() {
+			return
+		}
 		lists[k] = spgemm.FilterS(l, distinct[k])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	for k, s := range distinct {
 		result[s] = lists[k]
 		stats.Edges += int64(len(lists[k]))
 	}
-	return result, stats
+	return result, stats, nil
 }
 
 // perS runs an independent single-s pass per distinct s value and
 // merges the work counters.
-func perS(h *hg.Hypergraph, sValues []int, cfg Config, run func(*hg.Hypergraph, int, Config) ([]Edge, Stats)) (map[int][]Edge, Stats) {
+func perS(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Config, run func(context.Context, *hg.Hypergraph, int, Config) ([]Edge, Stats, error)) (map[int][]Edge, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var stats Stats
 	distinct := DistinctS(sValues)
 	result := make(map[int][]Edge, len(distinct))
 	for _, s := range distinct {
-		edges, st := run(h, s, cfg)
+		edges, st, err := run(ctx, h, s, cfg)
+		if err != nil {
+			return nil, stats, err
+		}
 		result[s] = edges
 		stats.add(st)
 	}
-	return result, stats
+	return result, stats, nil
 }

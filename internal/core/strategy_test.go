@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -39,13 +40,13 @@ func TestStrategiesByteIdentical(t *testing.T) {
 		for _, strat := range Strategies() {
 			for _, p := range []par.Strategy{par.Blocked, par.Cyclic} {
 				cfg := exactConfig(strat, workers, p)
-				single, _ := strat.Edges(h, []int{s}, cfg)
+				single, _, _ := strat.Edges(context.Background(), h, []int{s}, cfg)
 				if got := single[s]; !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
 					t.Logf("%s single s=%d workers=%d %v: got %v want %v",
 						strat.Name(), s, workers, p, got, want)
 					return false
 				}
-				batch, _ := strat.Edges(h, sweep, cfg)
+				batch, _, _ := strat.Edges(context.Background(), h, sweep, cfg)
 				for _, si := range DistinctS(sweep) {
 					ref := NaiveAllPairs(h, si)
 					if got := batch[si]; !reflect.DeepEqual(got, ref) && !(len(got) == 0 && len(ref) == 0) {
@@ -70,7 +71,7 @@ func TestPlannerPathsByteIdentical(t *testing.T) {
 	h := randomHypergraph(r, 60, 90, 7)
 	sweep := []int{1, 2, 3, 5}
 
-	ref := RunBatch(h, sweep, PipelineConfig{})
+	ref, _ := RunBatch(context.Background(), h, sweep, PipelineConfig{})
 	if len(ref) != len(sweep) {
 		t.Fatalf("RunBatch produced %d results, want %d", len(ref), len(sweep))
 	}
@@ -81,7 +82,7 @@ func TestPlannerPathsByteIdentical(t *testing.T) {
 		{Algorithm: AlgoSetIntersection, DisableShortCircuit: true},
 	}
 	for _, cfg := range pinned {
-		got := RunBatch(h, sweep, PipelineConfig{Core: cfg})
+		got, _ := RunBatch(context.Background(), h, sweep, PipelineConfig{Core: cfg})
 		for _, s := range sweep {
 			if !reflect.DeepEqual(got[s].Graph.Edges(), ref[s].Graph.Edges()) {
 				t.Fatalf("algorithm %s s=%d: edges differ from planner default", cfg.Algorithm, s)
@@ -96,7 +97,7 @@ func TestPlannerPathsByteIdentical(t *testing.T) {
 	}
 	// And each batch result equals its single-s pipeline run.
 	for _, s := range sweep {
-		single := Run(h, s, PipelineConfig{})
+		single, _ := Run(context.Background(), h, s, PipelineConfig{})
 		if !reflect.DeepEqual(ref[s].Graph.Edges(), single.Graph.Edges()) {
 			t.Fatalf("s=%d: batch result differs from single-s Run", s)
 		}
@@ -106,10 +107,10 @@ func TestPlannerPathsByteIdentical(t *testing.T) {
 // TestRunBatchDegenerateInputs pins the edge cases of the batch entry.
 func TestRunBatchDegenerateInputs(t *testing.T) {
 	h := paperExample()
-	if got := RunBatch(h, nil, PipelineConfig{}); len(got) != 0 {
+	if got, _ := RunBatch(context.Background(), h, nil, PipelineConfig{}); len(got) != 0 {
 		t.Fatalf("RunBatch with no s values returned %d results", len(got))
 	}
-	dup := RunBatch(h, []int{2, 2, 0}, PipelineConfig{})
+	dup, _ := RunBatch(context.Background(), h, []int{2, 2, 0}, PipelineConfig{})
 	if len(dup) != 2 { // {1, 2}: 0 clamps to 1
 		t.Fatalf("RunBatch([2,2,0]) returned %d results, want 2", len(dup))
 	}
@@ -198,8 +199,8 @@ func TestPlannerNeverChangesOutputClass(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		h := randomHypergraph(r, 25, 35, 6)
 		s := 1 + int(sRaw%4)
-		auto, _ := SLineEdges(h, s, Config{})
-		pinned, _ := SLineEdges(h, s, Config{Algorithm: AlgoHashmap})
+		auto, _, _ := SLineEdges(context.Background(), h, s, Config{})
+		pinned, _, _ := SLineEdges(context.Background(), h, s, Config{Algorithm: AlgoHashmap})
 		return reflect.DeepEqual(auto, pinned) || (len(auto) == 0 && len(pinned) == 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {

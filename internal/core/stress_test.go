@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -22,7 +23,7 @@ func TestStressCrossValidation(t *testing.T) {
 		MeanCommunitySize: 8, EdgesPerCommunity: 3, Background: 800,
 	})
 	for _, s := range []int{2, 5, 12} {
-		base, baseStats := SLineEdges(h, s, Config{Workers: 1})
+		base, baseStats, _ := SLineEdges(context.Background(), h, s, Config{Workers: 1})
 		if baseStats.SetIntersections != 0 {
 			t.Fatal("algorithm 2 must not intersect")
 		}
@@ -33,12 +34,12 @@ func TestStressCrossValidation(t *testing.T) {
 			{Algorithm: AlgoSetIntersection, DisableShortCircuit: true, Partition: par.Cyclic, Workers: 5, Grain: 7},
 		}
 		for _, cfg := range configs {
-			got, _ := SLineEdges(h, s, cfg)
+			got, _, _ := SLineEdges(context.Background(), h, s, cfg)
 			if !reflect.DeepEqual(got, base) {
 				t.Fatalf("s=%d cfg=%+v diverged (%d vs %d edges)", s, cfg, len(got), len(base))
 			}
 		}
-		ens, _ := EnsembleEdges(h, []int{s}, Config{Workers: 12})
+		ens, _, _ := EnsembleEdges(context.Background(), h, []int{s}, Config{Workers: 12})
 		if !reflect.DeepEqual(ens[s], base) {
 			t.Fatalf("s=%d ensemble diverged", s)
 		}
@@ -70,7 +71,7 @@ func TestStressSingletonAndDuplicateEdges(t *testing.T) {
 
 	// s = 10: the 100 duplicates pairwise overlap in 10 vertices, and
 	// each also overlaps the giant edge in 10.
-	got, _ := SLineEdges(h, 10, Config{})
+	got, _, _ := SLineEdges(context.Background(), h, 10, Config{})
 	want := NaiveAllPairs(h, 10)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("duplicates: %d edges vs oracle %d", len(got), len(want))
@@ -79,7 +80,7 @@ func TestStressSingletonAndDuplicateEdges(t *testing.T) {
 		t.Fatalf("expected complete graph over 101 edges, got %d", len(got))
 	}
 	// s = 11: only giant-vs-nothing; duplicates cap at 10.
-	got11, _ := SLineEdges(h, 11, Config{})
+	got11, _, _ := SLineEdges(context.Background(), h, 11, Config{})
 	if len(got11) != 0 {
 		t.Fatalf("s=11 should be empty, got %d edges", len(got11))
 	}

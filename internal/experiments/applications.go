@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -25,7 +26,7 @@ func Fig2(w io.Writer) map[int][]core.Edge {
 	out := map[int][]core.Edge{}
 	fmt.Fprintln(w, "Figure 2 — hyperedge s-line graphs of the example hypergraph")
 	for s := 1; s <= 4; s++ {
-		edges, _ := core.SLineEdges(h, s, core.Config{})
+		edges, _, _ := core.SLineEdges(context.Background(), h, s, core.Config{})
 		out[s] = edges
 		fmt.Fprintf(w, "  s=%d:", s)
 		if len(edges) == 0 {
@@ -66,7 +67,7 @@ func Fig4(w io.Writer, scale Scale, workers int) Fig4Data {
 	for _, ds := range sets {
 		dual := ds.h.Dual()
 		cfg := core.PipelineConfig{Core: core.Config{Workers: workers}}
-		results := core.RunEnsemble(dual, Fig4SValues, cfg)
+		results, _ := core.RunEnsemble(context.Background(), dual, Fig4SValues, cfg)
 		data.Edges[ds.name] = map[int]int{}
 		fmt.Fprintf(w, "Figure 4 analog — %s: #edges in s-clique graph\n", ds.name)
 		for _, s := range Fig4SValues {
@@ -114,7 +115,7 @@ func Table2(w io.Writer, scale Scale, workers int) Table2Data {
 		Top400Retention: map[int]float64{},
 	}
 	opt := core.PipelineConfig{Core: core.Config{Workers: workers}}
-	results := core.RunEnsemble(h, data.SValues, opt)
+	results, _ := core.RunEnsemble(context.Background(), h, data.SValues, opt)
 
 	topSets := map[int][]uint32{}
 	for _, s := range data.SValues {
@@ -232,7 +233,7 @@ func Fig5(w io.Writer, scale Scale, workers int) Fig5Data {
 		Components: map[int]int{},
 	}
 	opt := core.PipelineConfig{Core: core.Config{Workers: workers}}
-	results := core.RunEnsemble(h, data.SValues, opt)
+	results, _ := core.RunEnsemble(context.Background(), h, data.SValues, opt)
 	for _, s := range data.SValues {
 		res := results[s]
 		data.Nodes[s] = res.Graph.NumNodes()
@@ -300,7 +301,7 @@ func Fig6(w io.Writer, scale Scale, workers int) Fig6Data {
 		data.SValues = append(data.SValues, s)
 	}
 	opt := core.PipelineConfig{Core: core.Config{Workers: workers}}
-	results := core.RunEnsemble(h, data.SValues, opt)
+	results, _ := core.RunEnsemble(context.Background(), h, data.SValues, opt)
 	fmt.Fprintln(w, "Figure 6 analog — normalized algebraic connectivity, author-paper network")
 	for _, s := range data.SValues {
 		res := results[s]
@@ -337,7 +338,7 @@ func IMDB(w io.Writer, scale Scale, workers int) IMDBData {
 	const s = 101
 	data := IMDBData{S: s, Centrality: map[string]float64{}}
 	cfg := core.PipelineConfig{Core: core.Config{Workers: workers}}
-	res := core.Run(h, s, cfg)
+	res, _ := core.Run(context.Background(), h, s, cfg)
 
 	t0 := time.Now()
 	cc := algo.ConnectedComponents(res.Graph)

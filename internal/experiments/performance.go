@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -40,7 +41,7 @@ func Table1(w io.Writer, scale Scale, workers int) Table1Data {
 	var ccCounts [2]int
 	for i, cfg := range configs {
 		cfg.Workers = workers
-		res := core.Run(h, s, core.PipelineConfig{Core: cfg})
+		res, _ := core.Run(context.Background(), h, s, core.PipelineConfig{Core: cfg})
 		t0 := time.Now()
 		cc := algo.LabelPropagationCC(res.Graph, par.Options{Workers: workers})
 		data.CC[i] = time.Since(t0)
@@ -104,7 +105,7 @@ func Fig7(w io.Writer, scale Scale, workers int) Fig7Data {
 			cfg := mustNotation(notation)
 			cfg.Workers = workers
 			t0 := time.Now()
-			res := core.Run(h, s, core.PipelineConfig{Core: cfg})
+			res, _ := core.Run(context.Background(), h, s, core.PipelineConfig{Core: cfg})
 			times[notation] = time.Since(t0)
 			_ = res
 		}
@@ -152,7 +153,7 @@ func Fig8(w io.Writer, scale Scale, maxThreads int) Fig8Data {
 			for threads := 1; threads <= maxThreads; threads *= 2 {
 				cfg := mustNotation(notation)
 				cfg.Workers = threads
-				res := core.Run(ds.h, s, core.PipelineConfig{Core: cfg})
+				res, _ := core.Run(context.Background(), ds.h, s, core.PipelineConfig{Core: cfg})
 				data.Runtime[ds.name][notation][threads] = res.Timings.SOverlap
 				fmt.Fprintf(w, "  %-4s threads=%-3d s-overlap=%v\n", notation, threads, res.Timings.SOverlap)
 			}
@@ -180,7 +181,7 @@ func Fig9(w io.Writer, scale Scale, maxFiles int) Fig9Data {
 		for files := 1; files <= maxFiles; files *= 2 {
 			h := DNSAnalog(scale, files)
 			cfg := core.Config{Algorithm: core.AlgoHashmap, Partition: par.Blocked, Workers: files}
-			res := core.Run(h, s, core.PipelineConfig{Core: cfg})
+			res, _ := core.Run(context.Background(), h, s, core.PipelineConfig{Core: cfg})
 			data.Runtime[s][files] = res.Timings.SOverlap
 			fmt.Fprintf(w, "  files=%-4d threads=%-4d s-overlap=%v\n", files, files, res.Timings.SOverlap)
 		}
@@ -210,7 +211,7 @@ func Fig10(w io.Writer, scale Scale, workers int) Fig10Data {
 		// Match the measurement to the traversal the figure counts:
 		// run on the preprocessed (relabeled) hypergraph.
 		pre := hg.Preprocess(h, cfg.Relabel)
-		_, stats := core.SLineEdges(pre.H, s, cfg)
+		_, stats, _ := core.SLineEdges(context.Background(), pre.H, s, cfg)
 		data.Visits[notation] = stats.WedgesPerWorker
 		min, max := stats.WedgesPerWorker[0], stats.WedgesPerWorker[0]
 		for _, v := range stats.WedgesPerWorker {
@@ -302,13 +303,13 @@ func Fig11(w io.Writer, scale Scale, workers int) Fig11Data {
 			cfg1 := mustNotation("1CA")
 			cfg1.Workers = workers
 			t2 := time.Now()
-			core.SLineEdges(pre.H, s, cfg1)
+			core.SLineEdges(context.Background(), pre.H, s, cfg1)
 			t1CA := time.Since(t2)
 
 			cfg2 := mustNotation("2BA")
 			cfg2.Workers = workers
 			t3 := time.Now()
-			core.SLineEdges(pre.H, s, cfg2)
+			core.SLineEdges(context.Background(), pre.H, s, cfg2)
 			t2BA := time.Since(t3)
 
 			data.Runtime[ds.name]["SpGEMM+Filter"][s] = tFull
@@ -355,7 +356,7 @@ func Table5(w io.Writer, scale Scale, workers int) Table5Data {
 			cfg := mustNotation("2CA")
 			cfg.Workers = workers
 			t0 := time.Now()
-			res := core.Run(ds.h, s, core.PipelineConfig{Core: cfg})
+			res, _ := core.Run(context.Background(), ds.h, s, core.PipelineConfig{Core: cfg})
 			algo.LabelPropagationCC(res.Graph, par.Options{Workers: workers})
 			data.Time[ds.name][s] = time.Since(t0)
 			data.Edges[ds.name][s] = res.Graph.NumEdges()

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -25,7 +26,18 @@ func (b *builtin) Name() string        { return b.name }
 func (b *builtin) Doc() string         { return b.doc }
 func (b *builtin) Params() []ParamSpec { return b.params }
 func (b *builtin) Cost() Cost          { return b.cost }
-func (b *builtin) Compute(res *core.PipelineResult, p Params, opt par.Options) (*Value, error) {
+
+// Compute checks the context on entry — a request that was cancelled
+// while its projection was being fetched never starts evaluating — and
+// then runs the closure to completion. The built-in algorithms are not
+// internally cancellable; the expensive all-pairs ones are bounded by
+// the projection size the caller already chose to materialize.
+func (b *builtin) Compute(ctx context.Context, res *core.PipelineResult, p Params, opt par.Options) (*Value, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return b.compute(res, p, opt)
 }
 

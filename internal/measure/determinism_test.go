@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -73,7 +74,7 @@ func TestMeasureDeterminismAcrossWorkers(t *testing.T) {
 	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
 	for gname, h := range determinismGraphs() {
 		for _, s := range []int{1, 2, 3} {
-			res := core.Run(h, s, core.PipelineConfig{})
+			res, _ := core.Run(context.Background(), h, s, core.PipelineConfig{})
 			if res.Graph.NumNodes() == 0 {
 				continue
 			}
@@ -84,13 +85,13 @@ func TestMeasureDeterminismAcrossWorkers(t *testing.T) {
 				}
 				t.Run(fmt.Sprintf("%s/s=%d/%s", gname, s, name), func(t *testing.T) {
 					p := measureParamsFor(t, m, res)
-					base, err := m.Compute(res, p, parOpt(1))
+					base, err := m.Compute(context.Background(), res, p, parOpt(1))
 					if err != nil {
 						t.Fatal(err)
 					}
 					for _, w := range workerCounts {
 						for _, strat := range []par.Strategy{par.Blocked, par.Cyclic} {
-							got, err := m.Compute(res, p, par.Options{Workers: w, Strategy: strat, Grain: 2})
+							got, err := m.Compute(context.Background(), res, p, par.Options{Workers: w, Strategy: strat, Grain: 2})
 							if err != nil {
 								t.Fatal(err)
 							}
@@ -117,7 +118,7 @@ func TestMeasureDeterminismAcrossStrategies(t *testing.T) {
 	}
 	for gname, h := range determinismGraphs() {
 		for _, s := range []int{1, 2, 3} {
-			baseRes := core.Run(h, s, core.PipelineConfig{})
+			baseRes, _ := core.Run(context.Background(), h, s, core.PipelineConfig{})
 			if baseRes.Graph.NumNodes() == 0 {
 				continue
 			}
@@ -128,13 +129,13 @@ func TestMeasureDeterminismAcrossStrategies(t *testing.T) {
 				}
 				t.Run(fmt.Sprintf("%s/s=%d/%s", gname, s, name), func(t *testing.T) {
 					p := measureParamsFor(t, m, baseRes)
-					base, err := m.Compute(baseRes, p, parOpt(2))
+					base, err := m.Compute(context.Background(), baseRes, p, parOpt(2))
 					if err != nil {
 						t.Fatal(err)
 					}
 					for stName, cfg := range cfgs {
-						res := core.Run(h, s, cfg)
-						got, err := m.Compute(res, p, parOpt(2))
+						res, _ := core.Run(context.Background(), h, s, cfg)
+						got, err := m.Compute(context.Background(), res, p, parOpt(2))
 						if err != nil {
 							t.Fatal(err)
 						}

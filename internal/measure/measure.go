@@ -22,6 +22,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -147,8 +148,10 @@ type Measure interface {
 	// Cost hints the relative evaluation cost.
 	Cost() Cost
 	// Compute evaluates the measure on a projection with canonical
-	// params (as produced by Canonicalize).
-	Compute(res *core.PipelineResult, p Params, opt par.Options) (*Value, error)
+	// params (as produced by Canonicalize). Implementations must honor
+	// ctx at least on entry (returning ctx.Err() instead of starting
+	// work on a dead context); a nil ctx means context.Background().
+	Compute(ctx context.Context, res *core.PipelineResult, p Params, opt par.Options) (*Value, error)
 }
 
 // Canonicalize validates raw parameters against m's schema and returns

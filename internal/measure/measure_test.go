@@ -2,6 +2,7 @@ package measure
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -114,9 +115,9 @@ func TestCanonicalize(t *testing.T) {
 }
 
 func TestComponentsOnPaperExample(t *testing.T) {
-	res := core.Run(paperExample(), 2, core.PipelineConfig{})
+	res, _ := core.Run(context.Background(), paperExample(), 2, core.PipelineConfig{})
 	m, _ := Get("components")
-	v, err := m.Compute(res, nil, parOpt(1))
+	v, err := m.Compute(context.Background(), res, nil, parOpt(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,18 +132,18 @@ func TestComponentsOnPaperExample(t *testing.T) {
 }
 
 func TestDistancesSourceValidation(t *testing.T) {
-	res := core.Run(paperExample(), 2, core.PipelineConfig{})
+	res, _ := core.Run(context.Background(), paperExample(), 2, core.PipelineConfig{})
 	m, _ := Get("distances")
 	p, err := Canonicalize(m, map[string]string{"source": "3"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Hyperedge 3 has no node in the 2-line graph.
-	if _, err := m.Compute(res, p, parOpt(1)); err == nil {
+	if _, err := m.Compute(context.Background(), res, p, parOpt(1)); err == nil {
 		t.Fatal("absent source hyperedge must fail")
 	}
 	p, _ = Canonicalize(m, map[string]string{"source": "0"})
-	v, err := m.Compute(res, p, parOpt(1))
+	v, err := m.Compute(context.Background(), res, p, parOpt(1))
 	if err != nil {
 		t.Fatal(err)
 	}

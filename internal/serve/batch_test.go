@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ func TestBatchFillsPerSCache(t *testing.T) {
 	cfg := core.PipelineConfig{}
 	sweep := []int{1, 2, 3, 4}
 
-	results, cached, err := svc.SLineGraphs("rand", sweep, cfg)
+	results, cached, err := svc.SLineGraphs(context.Background(), "rand", sweep, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,12 +30,12 @@ func TestBatchFillsPerSCache(t *testing.T) {
 		if cached[sVal] {
 			t.Fatalf("s=%d: cold batch must not report cached", sVal)
 		}
-		direct := core.Run(h, sVal, cfg)
+		direct, _ := core.Run(context.Background(), h, sVal, cfg)
 		if !reflect.DeepEqual(results[sVal].Graph.Edges(), direct.Graph.Edges()) {
 			t.Fatalf("s=%d: batch edges differ from direct run", sVal)
 		}
 		// Single-s queries must hit the entries the batch seeded.
-		res, hit, err := svc.SLineGraph("rand", sVal, cfg)
+		res, hit, err := svc.SLineGraph(context.Background(), "rand", sVal, cfg)
 		if err != nil || !hit {
 			t.Fatalf("s=%d: single query after batch: hit=%v err=%v", sVal, hit, err)
 		}
@@ -44,7 +45,7 @@ func TestBatchFillsPerSCache(t *testing.T) {
 	}
 
 	// A partially-overlapping batch only computes the new s values.
-	results2, cached2, err := svc.SLineGraphs("rand", []int{2, 3, 5}, cfg)
+	results2, cached2, err := svc.SLineGraphs(context.Background(), "rand", []int{2, 3, 5}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,12 +64,12 @@ func TestBatchDualOrientation(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("rand", h)
 	sweep := []int{1, 2}
-	results, _, err := svc.SCliqueGraphs("rand", sweep, core.PipelineConfig{})
+	results, _, err := svc.SCliqueGraphs(context.Background(), "rand", sweep, core.PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, sVal := range sweep {
-		direct := core.Run(h.Dual(), sVal, core.PipelineConfig{})
+		direct, _ := core.Run(context.Background(), h.Dual(), sVal, core.PipelineConfig{})
 		if !reflect.DeepEqual(results[sVal].Graph.Edges(), direct.Graph.Edges()) {
 			t.Fatalf("s=%d: batched clique graph differs from direct dual run", sVal)
 		}
@@ -79,13 +80,13 @@ func TestBatchDualOrientation(t *testing.T) {
 func TestBatchRejectsBadInput(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("h", paperExample())
-	if _, _, err := svc.SLineGraphs("h", nil, core.PipelineConfig{}); err == nil {
+	if _, _, err := svc.SLineGraphs(context.Background(), "h", nil, core.PipelineConfig{}); err == nil {
 		t.Fatal("want error for empty batch")
 	}
-	if _, _, err := svc.SLineGraphs("h", []int{2, 0}, core.PipelineConfig{}); err == nil {
+	if _, _, err := svc.SLineGraphs(context.Background(), "h", []int{2, 0}, core.PipelineConfig{}); err == nil {
 		t.Fatal("want error for s=0 in batch")
 	}
-	if _, _, err := svc.SLineGraphs("nope", []int{2}, core.PipelineConfig{}); err == nil {
+	if _, _, err := svc.SLineGraphs(context.Background(), "nope", []int{2}, core.PipelineConfig{}); err == nil {
 		t.Fatal("want error for unknown dataset")
 	}
 }
@@ -99,7 +100,7 @@ func TestBatchRejectsBadInput(t *testing.T) {
 func TestOutputEquivalentConfigsShareEntries(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("h", paperExample())
-	base, _, err := svc.SLineGraph("h", 2, core.PipelineConfig{})
+	base, _, err := svc.SLineGraph(context.Background(), "h", 2, core.PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestOutputEquivalentConfigsShareEntries(t *testing.T) {
 		{Core: core.Config{Algorithm: core.AlgoSetIntersection, DisableShortCircuit: true}},
 	}
 	for _, cfg := range equivalent {
-		res, hit, err := svc.SLineGraph("h", 2, cfg)
+		res, hit, err := svc.SLineGraph(context.Background(), "h", 2, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestOutputEquivalentConfigsShareEntries(t *testing.T) {
 	}
 	// Short-circuited Algorithm 1 is a different output class and must
 	// not be served the exact-class entry.
-	sc, hit, err := svc.SLineGraph("h", 2, core.PipelineConfig{
+	sc, hit, err := svc.SLineGraph(context.Background(), "h", 2, core.PipelineConfig{
 		Core: core.Config{Algorithm: core.AlgoSetIntersection},
 	})
 	if err != nil {
@@ -142,15 +143,15 @@ func TestSpGEMMWarmupSeedsDefaultQueries(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("rand", h)
 	spgemmCfg := core.PipelineConfig{Core: core.Config{Algorithm: core.AlgoSpGEMM}}
-	if _, _, err := svc.Warmup("rand", false, []int{1, 2, 3}, spgemmCfg); err != nil {
+	if _, _, err := svc.Warmup(context.Background(), "rand", false, []int{1, 2, 3}, spgemmCfg); err != nil {
 		t.Fatal(err)
 	}
 	for _, sVal := range []int{1, 2, 3} {
-		res, hit, err := svc.SLineGraph("rand", sVal, core.PipelineConfig{})
+		res, hit, err := svc.SLineGraph(context.Background(), "rand", sVal, core.PipelineConfig{})
 		if err != nil || !hit {
 			t.Fatalf("s=%d: default query after SpGEMM warmup: hit=%v err=%v", sVal, hit, err)
 		}
-		direct := core.Run(h, sVal, core.PipelineConfig{})
+		direct, _ := core.Run(context.Background(), h, sVal, core.PipelineConfig{})
 		if !reflect.DeepEqual(res.Graph.Edges(), direct.Graph.Edges()) {
 			t.Fatalf("s=%d: SpGEMM-warmed edges differ from direct run", sVal)
 		}
@@ -175,7 +176,7 @@ func TestConcurrentIdenticalBatches(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait()
-			results, _, err := svc.SLineGraphs("rand", sweep, core.PipelineConfig{})
+			results, _, err := svc.SLineGraphs(context.Background(), "rand", sweep, core.PipelineConfig{})
 			if err != nil {
 				t.Error(err)
 				return

@@ -137,6 +137,25 @@ type MeasureEntry struct {
 	HyperedgeIDs []uint32
 }
 
+// NewMeasureEntry builds the self-contained cache entry for one
+// measure evaluation on a projection. The node→hyperedge mapping only
+// labels per-node vectors; scalar- and group-shaped values (diameter,
+// components, connectivity) neither serialize it nor should pin it in
+// the LRU after the projection evicts, so it is attached only when the
+// value is per-node. Both the serving path and the sessionless
+// hyperline.Execute build entries through this one rule.
+func NewMeasureEntry(res *core.PipelineResult, val *measure.Value) *MeasureEntry {
+	e := &MeasureEntry{
+		Value: val,
+		Nodes: res.Graph.NumNodes(),
+		Edges: res.Graph.NumEdges(),
+	}
+	if val.Scores != nil || val.Ints != nil {
+		e.HyperedgeIDs = res.HyperedgeIDs
+	}
+	return e
+}
+
 // MeasureCache is a thread-safe LRU of measure entries keyed by
 // (dataset, version, orientation, s, options-fingerprint, measure,
 // canonical-params) strings — the pipeline key extended by the measure

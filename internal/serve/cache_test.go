@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -89,7 +90,7 @@ func TestSingleflightDeduplicates(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			entered.Done()
-			v, err, sh := sf.Do("key", func() (any, error) {
+			v, err, sh := sf.Do(context.Background(), "key", func(context.Context) (any, error) {
 				calls.Add(1)
 				<-gate // hold every concurrent caller in one flight
 				return "value", nil
@@ -126,13 +127,13 @@ func TestSingleflightDeduplicates(t *testing.T) {
 
 func TestSingleflightPanicReleasesKey(t *testing.T) {
 	var sf singleflight
-	_, err, _ := sf.Do("key", func() (any, error) { panic("boom") })
+	_, err, _ := sf.Do(context.Background(), "key", func(context.Context) (any, error) { panic("boom") })
 	if err == nil {
 		t.Fatal("panicking call must surface an error")
 	}
 	// The key must be released: a later call runs fn again instead of
 	// blocking on the dead flight.
-	v, err, _ := sf.Do("key", func() (any, error) { return "ok", nil })
+	v, err, _ := sf.Do(context.Background(), "key", func(context.Context) (any, error) { return "ok", nil })
 	if err != nil || v != "ok" {
 		t.Fatalf("key wedged after panic: v=%v err=%v", v, err)
 	}
@@ -142,7 +143,7 @@ func TestSingleflightSequentialCallsRunEachTime(t *testing.T) {
 	var sf singleflight
 	n := 0
 	for i := 0; i < 3; i++ {
-		sf.Do("key", func() (any, error) { n++; return nil, nil })
+		sf.Do(context.Background(), "key", func(context.Context) (any, error) { n++; return nil, nil })
 	}
 	if n != 3 {
 		t.Fatalf("sequential calls must each run fn, got %d", n)

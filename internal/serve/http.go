@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,12 @@ import (
 //	GET    /v1/datasets/{name}/distances?s=N&source=H
 //	GET    /v1/datasets/{name}/centrality?s=N&kind=betweenness|closeness|harmonic|pagerank|eccentricity
 //	GET    /v1/datasets/{name}/connectivity?s=N
+//	POST   /v2/query                                  (unified JSON query, see handleQueryV2)
+//
+// Every endpoint threads the request's context through the pipeline:
+// client disconnects and per-request timeouts cancel the computation
+// cooperatively (unless concurrent identical requests still wait on
+// it), and an expired context answers 504.
 //
 // The plural projection endpoints, the measures endpoint, and the
 // warmup body's "s" field accept an s-list: a comma-separated mix of
@@ -123,7 +130,24 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/connectivity", func(w http.ResponseWriter, r *http.Request) {
 		handleMeasure(svc, w, r, measureConnectivity)
 	})
+	mux.HandleFunc("POST /v2/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQueryV2(svc, w, r)
+	})
 	return mux
+}
+
+// errStatus maps a service error to an HTTP status: cancelled or
+// deadline-exceeded requests are 504 (the request context expired
+// before the pipeline finished), unknown datasets are 404, everything
+// else is a client error.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -287,9 +311,9 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 	cfg.Core.DisableShortCircuit = req.Exact
 	cfg.Core.Workers = clampWorkers(req.Workers)
 	start := time.Now()
-	computed, hot, err := svc.Warmup(name, req.Dual, sweep, cfg)
+	computed, hot, err := svc.Warmup(r.Context(), name, req.Dual, sweep, cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -376,12 +400,12 @@ func handleProjection(svc *Service, w http.ResponseWriter, r *http.Request, dual
 	var res *core.PipelineResult
 	var cached bool
 	if dual {
-		res, cached, err = svc.SCliqueGraph(name, sVal, cfg)
+		res, cached, err = svc.SCliqueGraph(r.Context(), name, sVal, cfg)
 	} else {
-		res, cached, err = svc.SLineGraph(name, sVal, cfg)
+		res, cached, err = svc.SLineGraph(r.Context(), name, sVal, cfg)
 	}
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toGraphResponse(name, sVal, dual, cached, includeEdges, res))
@@ -437,12 +461,12 @@ func handleProjectionBatch(svc *Service, w http.ResponseWriter, r *http.Request,
 	var results map[int]*core.PipelineResult
 	var cached map[int]bool
 	if dual {
-		results, cached, err = svc.SCliqueGraphs(name, sweep, cfg)
+		results, cached, err = svc.SCliqueGraphs(r.Context(), name, sweep, cfg)
 	} else {
-		results, cached, err = svc.SLineGraphs(name, sweep, cfg)
+		results, cached, err = svc.SLineGraphs(r.Context(), name, sweep, cfg)
 	}
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	distinct := core.DistinctS(sweep)
@@ -532,9 +556,9 @@ func handleMeasureSweep(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, err := svc.MeasureSweep(name, dual, sweep, cfg, measureName, measureParams(r, m))
+	results, err := svc.MeasureSweep(r.Context(), name, dual, sweep, cfg, measureName, measureParams(r, m))
 	if err != nil {
-		writeError(w, measureErrStatus(err), err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	out := make([]measureResponse, len(results))
@@ -555,16 +579,6 @@ func handleMeasureSweep(svc *Service, w http.ResponseWriter, r *http.Request) {
 		"measure": measureName,
 		"results": out,
 	})
-}
-
-// measureErrStatus maps a measure-engine error to an HTTP status:
-// unknown datasets are 404, everything else (unknown measure, bad
-// params, absent source hyperedge) is a client error.
-func measureErrStatus(err error) int {
-	if errors.Is(err, ErrUnknownDataset) {
-		return http.StatusNotFound
-	}
-	return http.StatusBadRequest
 }
 
 // legacyMeasure resolves one of the fixed measure endpoints to a
@@ -597,9 +611,9 @@ func handleMeasure(svc *Service, w http.ResponseWriter, r *http.Request, fn lega
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := svc.Measure(name, dual, sVal, cfg, measureName, params)
+	res, err := svc.Measure(r.Context(), name, dual, sVal, cfg, measureName, params)
 	if err != nil {
-		writeError(w, measureErrStatus(err), err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

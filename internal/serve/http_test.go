@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -145,7 +146,7 @@ func TestHTTPSLineGraphCachesAndMatchesLibrary(t *testing.T) {
 		t.Fatalf("cached flags: first=%v second=%v, want false,true", first.Cached, second.Cached)
 	}
 
-	direct := core.Run(paperExample(), 2, core.PipelineConfig{})
+	direct, _ := core.Run(context.Background(), paperExample(), 2, core.PipelineConfig{})
 	wantEdges := make([][3]uint32, 0, direct.Graph.NumEdges())
 	for _, e := range direct.Graph.Edges() {
 		wantEdges = append(wantEdges, [3]uint32{e.U, e.V, e.W})
@@ -179,7 +180,7 @@ func TestHTTPSCliqueGraph(t *testing.T) {
 	var got graphJSON
 	do(t, http.MethodGet, ts.URL+"/v1/datasets/paper/scliquegraph?s=1&nosqueeze=true",
 		nil, http.StatusOK, &got)
-	direct := core.Run(paperExample().Dual(), 1, core.PipelineConfig{NoSqueeze: true})
+	direct, _ := core.Run(context.Background(), paperExample().Dual(), 1, core.PipelineConfig{NoSqueeze: true})
 	if got.Edges != direct.Graph.NumEdges() || got.Nodes != direct.Graph.NumNodes() {
 		t.Fatalf("clique graph %+v differs from direct dual run (%d nodes %d edges)",
 			got, direct.Graph.NumNodes(), direct.Graph.NumEdges())
@@ -253,7 +254,7 @@ func TestHTTPBatchProjections(t *testing.T) {
 		if got.S != i+1 {
 			t.Fatalf("results out of order: %+v", batch.Results)
 		}
-		direct := core.Run(paperExample(), got.S, core.PipelineConfig{})
+		direct, _ := core.Run(context.Background(), paperExample(), got.S, core.PipelineConfig{})
 		if got.Edges != direct.Graph.NumEdges() {
 			t.Fatalf("s=%d: %d edges, want %d", got.S, got.Edges, direct.Graph.NumEdges())
 		}

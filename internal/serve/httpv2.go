@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hyperline/internal/core"
+	"hyperline/internal/measure"
+)
+
+// queryRequestJSON is the POST /v2/query body: the context-first
+// unified query. "s" accepts a JSON integer array or an s-list string
+// ("1,4:8"); "kind" is "line" (default) or "clique"; "timeout_ms"
+// bounds this request via its context (independent of any server-wide
+// -request-timeout, whichever expires first wins).
+type queryRequestJSON struct {
+	Dataset   string            `json:"dataset"`
+	Kind      string            `json:"kind,omitempty"`
+	S         json.RawMessage   `json:"s"`
+	Measure   string            `json:"measure,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+	Config    string            `json:"config,omitempty"`
+	Workers   int               `json:"workers,omitempty"`
+	Toplex    bool              `json:"toplex,omitempty"`
+	NoSqueeze bool              `json:"nosqueeze,omitempty"`
+	Exact     bool              `json:"exact,omitempty"`
+	Edges     bool              `json:"edges,omitempty"`
+	TimeoutMS int               `json:"timeout_ms,omitempty"`
+}
+
+// queryEntryJSON is one per-s result of a v2 query. Exactly one of
+// Error or the payload fields is meaningful; Error carries per-s
+// failures (the rest of the sweep still answers).
+type queryEntryJSON struct {
+	S                int            `json:"s"`
+	Error            string         `json:"error,omitempty"`
+	Cached           bool           `json:"cached"`
+	ProjectionCached bool           `json:"projection_cached,omitempty"`
+	Nodes            int            `json:"nodes,omitempty"`
+	Edges            int            `json:"edges,omitempty"`
+	HyperedgeIDs     []uint32       `json:"hyperedge_ids,omitempty"`
+	EdgeList         [][3]uint32    `json:"edge_list,omitempty"`
+	Value            *measure.Value `json:"value,omitempty"`
+	TimingsMS        *timingsJSON   `json:"timings_ms,omitempty"`
+}
+
+type queryResponseJSON struct {
+	Dataset   string           `json:"dataset"`
+	Kind      string           `json:"kind"`
+	Measure   string           `json:"measure,omitempty"`
+	Plan      *planJSON        `json:"plan,omitempty"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Results   []queryEntryJSON `json:"results"`
+}
+
+// handleQueryV2 serves POST /v2/query: one JSON Query in, ordered
+// per-s entries (with per-s errors), the executed plan, and stage
+// timings out. Unlike the v1 GET endpoints, edge lists are opt-in
+// ("edges": true) — the default response carries the projection shape,
+// mapping, and measure value only.
+func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req queryRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad /v2/query body: %w", err))
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: \"dataset\" is required"))
+		return
+	}
+	var dual bool
+	switch req.Kind {
+	case "", "line":
+		dual = false
+	case "clique":
+		dual = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown kind %q (want \"line\" or \"clique\")", req.Kind))
+		return
+	}
+	if len(req.S) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: \"s\" is required (an integer array or an s-list string such as \"1,4:8\")"))
+		return
+	}
+	sweep, err := decodeSValues(req.S)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var cfg core.PipelineConfig
+	if req.Config != "" {
+		c, err := core.ParseNotation(req.Config)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Core = c
+	}
+	cfg.Toplex = req.Toplex
+	cfg.NoSqueeze = req.NoSqueeze
+	cfg.Core.DisableShortCircuit = req.Exact
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad workers %d", req.Workers))
+		return
+	}
+	cfg.Core.Workers = clampWorkers(req.Workers)
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	start := time.Now()
+	qr, err := svc.Query(ctx, QueryRequest{
+		Dataset: req.Dataset,
+		Dual:    dual,
+		S:       sweep,
+		Cfg:     cfg,
+		Measure: req.Measure,
+		Params:  req.Params,
+	})
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+
+	resp := queryResponseJSON{
+		Dataset:   req.Dataset,
+		Kind:      kindString(dual),
+		Measure:   req.Measure,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Results:   make([]queryEntryJSON, len(qr.Entries)),
+	}
+	if qr.Plan.Strategy != "" {
+		resp.Plan = &planJSON{Strategy: qr.Plan.Strategy, Reason: qr.Plan.Reason}
+	}
+	for i, e := range qr.Entries {
+		out := queryEntryJSON{S: e.S, Cached: e.Cached}
+		if e.Err != nil {
+			out.Error = e.Err.Error()
+			resp.Results[i] = out
+			continue
+		}
+		switch {
+		case e.Measure != nil:
+			out.ProjectionCached = e.Measure.ProjectionCached
+			out.Nodes = e.Measure.Nodes
+			out.Edges = e.Measure.Edges
+			out.HyperedgeIDs = e.Measure.HyperedgeIDs
+			out.Value = e.Measure.Value
+		case e.Res != nil:
+			out.Nodes = e.Res.Graph.NumNodes()
+			out.Edges = e.Res.Graph.NumEdges()
+			out.HyperedgeIDs = e.Res.HyperedgeIDs
+		}
+		if e.Res != nil {
+			t := toTimings(e.Res.Timings)
+			out.TimingsMS = &t
+			if req.Edges {
+				edges := e.Res.Graph.Edges()
+				out.EdgeList = make([][3]uint32, len(edges))
+				for j, ge := range edges {
+					out.EdgeList[j] = [3]uint32{ge.U, ge.V, ge.W}
+				}
+			}
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// kindString renders the orientation the way the v2 API spells it.
+func kindString(dual bool) string {
+	if dual {
+		return "clique"
+	}
+	return "line"
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 
 	"hyperline/internal/core"
@@ -64,8 +65,8 @@ type measureFlight struct {
 // and the measure value from their caches when possible. Unknown
 // measures fail with the list of registered ones; params are validated
 // against the measure's schema before any pipeline work runs.
-func (s *Service) Measure(name string, dual bool, sVal int, cfg core.PipelineConfig, measureName string, params map[string]string) (*MeasureResult, error) {
-	out, err := s.MeasureSweep(name, dual, []int{sVal}, cfg, measureName, params)
+func (s *Service) Measure(ctx context.Context, name string, dual bool, sVal int, cfg core.PipelineConfig, measureName string, params map[string]string) (*MeasureResult, error) {
+	out, err := s.MeasureSweep(ctx, name, dual, []int{sVal}, cfg, measureName, params)
 	if err != nil {
 		return nil, err
 	}
@@ -74,102 +75,70 @@ func (s *Service) Measure(name string, dual bool, sVal int, cfg core.PipelineCon
 
 // MeasureSweep evaluates the named measure across an s-sweep as one
 // batched request — the serving form of the paper's application tables
-// (component counts, diameters, and centralities reported per s).
-// Cached measure values are served as-is; the remaining s values share
-// one batched Stage 1-4 pass (one planner-driven core.RunBatch for the
-// uncached projections) followed by one Compute per s, each
-// deduplicated via singleflight and cached individually. Results are
-// ordered by ascending distinct s.
-func (s *Service) MeasureSweep(name string, dual bool, sValues []int, cfg core.PipelineConfig, measureName string, params map[string]string) ([]*MeasureResult, error) {
-	m, err := measure.Get(measureName)
+// (component counts, diameters, and centralities reported per s). It
+// is a thin view over Query that fails on the first per-s error (the
+// v1 semantics); cached measure values are served as-is, the remaining
+// s values share one batched Stage 1-4 pass followed by one Compute
+// per s, each deduplicated via singleflight and cached individually.
+// Results are ordered by ascending distinct s.
+func (s *Service) MeasureSweep(ctx context.Context, name string, dual bool, sValues []int, cfg core.PipelineConfig, measureName string, params map[string]string) ([]*MeasureResult, error) {
+	if measureName == "" {
+		// An empty name would turn the Query into a projection-only
+		// request; surface the registry menu instead.
+		_, err := measure.Get(measureName)
+		return nil, err
+	}
+	qr, err := s.Query(ctx, QueryRequest{
+		Dataset: name, Dual: dual, S: sValues, Cfg: cfg,
+		Measure: measureName, Params: params,
+		FailFast: true, // v1 semantics: the first per-s error fails the sweep
+	})
 	if err != nil {
 		return nil, err
 	}
-	p, err := measure.Canonicalize(m, params)
-	if err != nil {
-		return nil, err
+	out := make([]*MeasureResult, len(qr.Entries))
+	for i, e := range qr.Entries {
+		out[i] = e.Measure
 	}
-	if err := core.ValidateSValues(sValues); err != nil {
-		return nil, err
-	}
-	// The dataset snapshot (hypergraph + version) is read once and
-	// pinned through the whole sweep — including the projection batch
-	// below, via projectBatchAt — so every key derived here refers to
-	// the dataset as it was at this instant and a concurrent
-	// replacement can never mix two versions within one sweep.
-	h, version, err := s.reg.Get(name)
-	if err != nil {
-		return nil, err
-	}
+	return out, nil
+}
 
-	distinct := core.DistinctS(sValues)
-	out := make([]*MeasureResult, len(distinct))
-	missing := make([]int, 0, len(distinct))
-	for i, sVal := range distinct {
-		mk := measureKey(key(name, version, dual, sVal, cfg), measureName, p)
-		if e, ok := s.mcache.Get(mk); ok {
-			out[i] = &MeasureResult{S: sVal, MeasureEntry: e, Cached: true, ProjectionCached: true}
-		} else {
-			missing = append(missing, sVal)
-		}
-	}
-	if len(missing) == 0 {
-		return out, nil
-	}
-	// One batched planner-driven pass fills every projection the
-	// uncached measures need (itself served from the projection cache
-	// where warm), pinned to the version read above.
-	projs, projCached, err := s.projectBatchAt(h, version, name, dual, missing, cfg)
-	if err != nil {
-		return nil, err
-	}
+// measureOne serves one measure evaluation: a singleflight-deduplicated
+// cache probe + Compute under the flight's detached context, so a
+// disconnected client neither aborts an evaluation other clients wait
+// on nor — when it disconnects before the evaluation starts — bumps
+// the compute counter.
+func (s *Service) measureOne(ctx context.Context, mk string, m measure.Measure, p measure.Params, cfg core.PipelineConfig, res *core.PipelineResult, projCached bool) (*MeasureResult, error) {
 	popt := par.Options{Workers: cfg.Core.Workers, Grain: cfg.Core.Grain, Strategy: cfg.Core.Partition}
-	byS := make(map[int]*MeasureResult, len(missing))
-	for _, sVal := range missing {
-		res := projs[sVal]
-		mk := measureKey(key(name, version, dual, sVal, cfg), measureName, p)
-		v, err, shared := s.msf.Do(mk, func() (any, error) {
-			// Re-probe under the flight: an identical request may
-			// have cached the value between our miss and this call
-			// (singleflight forgets completed flights).
-			if e, ok := s.mcache.Get(mk); ok {
-				return measureFlight{entry: e, fromCache: true}, nil
-			}
-			s.measureComputes.Add(1)
-			val, err := m.Compute(res, p, popt)
-			if err != nil {
-				return nil, err
-			}
-			e := &MeasureEntry{
-				Value: val,
-				Nodes: res.Graph.NumNodes(),
-				Edges: res.Graph.NumEdges(),
-			}
-			// The node→hyperedge mapping only labels per-node
-			// vectors; scalar- and group-shaped values (diameter,
-			// components, connectivity) neither serialize it nor
-			// should pin it in the LRU after the projection evicts.
-			if val.Scores != nil || val.Ints != nil {
-				e.HyperedgeIDs = res.HyperedgeIDs
-			}
-			s.mcache.Put(mk, e)
-			return measureFlight{entry: e}, nil
-		})
+	v, err, shared := s.msf.Do(ctx, mk, func(fctx context.Context) (any, error) {
+		// Re-probe under the flight: an identical request may have
+		// cached the value between our miss and this call
+		// (singleflight forgets completed flights).
+		if e, ok := s.mcache.Get(mk); ok {
+			return measureFlight{entry: e, fromCache: true}, nil
+		}
+		// An evaluation nobody waits for anymore must not start (or
+		// count): the flight context trips when the last waiter leaves.
+		if err := fctx.Err(); err != nil {
+			return nil, err
+		}
+		s.measureComputes.Add(1)
+		val, err := m.Compute(fctx, res, p, popt)
 		if err != nil {
 			return nil, err
 		}
-		f := v.(measureFlight)
-		byS[sVal] = &MeasureResult{
-			S:                sVal,
-			MeasureEntry:     f.entry,
-			Cached:           shared || f.fromCache,
-			ProjectionCached: projCached[sVal],
-		}
+		e := NewMeasureEntry(res, val)
+		s.mcache.Put(mk, e)
+		return measureFlight{entry: e}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i, sVal := range distinct {
-		if out[i] == nil {
-			out[i] = byS[sVal]
-		}
-	}
-	return out, nil
+	f := v.(measureFlight)
+	return &MeasureResult{
+		S:                res.S,
+		MeasureEntry:     f.entry,
+		Cached:           shared || f.fromCache,
+		ProjectionCached: projCached,
+	}, nil
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -20,7 +21,7 @@ func TestMeasureServedFromCache(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("paper", paperExample())
 
-	first, err := svc.Measure("paper", false, 2, core.PipelineConfig{}, "components", nil)
+	first, err := svc.Measure(context.Background(), "paper", false, 2, core.PipelineConfig{}, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestMeasureServedFromCache(t *testing.T) {
 	if got := svc.MeasureCacheStats().Computes; got != 1 {
 		t.Fatalf("cold measure ran %d computes, want 1", got)
 	}
-	second, err := svc.Measure("paper", false, 2, core.PipelineConfig{}, "components", nil)
+	second, err := svc.Measure(context.Background(), "paper", false, 2, core.PipelineConfig{}, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestMeasureServedFromCache(t *testing.T) {
 	// Execution knobs (workers) share the entry: the fingerprint
 	// excludes them and measures are worker-deterministic.
 	cfg := core.PipelineConfig{Core: core.Config{Workers: 3}}
-	third, err := svc.Measure("paper", false, 2, cfg, "components", nil)
+	third, err := svc.Measure(context.Background(), "paper", false, 2, cfg, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestMeasureCacheRace(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			q := queries[qIdx[i]]
-			res, err := svc.Measure("g", false, q.s, core.PipelineConfig{}, q.measure, nil)
+			res, err := svc.Measure(context.Background(), "g", false, q.s, core.PipelineConfig{}, q.measure, nil)
 			if err != nil {
 				t.Error(err)
 				return
@@ -129,7 +130,7 @@ func TestMeasureCacheRace(t *testing.T) {
 		go func(i int) {
 			defer wg2.Done()
 			q := queries[i%len(queries)]
-			res, err := svc.Measure("g", false, q.s, core.PipelineConfig{}, q.measure, nil)
+			res, err := svc.Measure(context.Background(), "g", false, q.s, core.PipelineConfig{}, q.measure, nil)
 			if err != nil {
 				t.Error(err)
 				return
@@ -152,7 +153,7 @@ func TestMeasureCacheNeverStale(t *testing.T) {
 	svc := New(Config{MeasureCacheEntries: 2})
 	// v1: the paper example — 1-line graph has 1 component.
 	svc.Add("d", paperExample())
-	v1, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "components", nil)
+	v1, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,15 +161,15 @@ func TestMeasureCacheNeverStale(t *testing.T) {
 		t.Fatalf("v1 components = %v, want 1", *v1.Value.Scalar)
 	}
 	// Fill the 2-entry LRU with other keys so v1's entry is evicted.
-	if _, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "diameter", nil); err != nil {
+	if _, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "diameter", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "clustering-global", nil); err != nil {
+	if _, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "clustering-global", nil); err != nil {
 		t.Fatal(err)
 	}
 	// v2: two disjoint cliques — 1-line graph has 2 components.
 	svc.Add("d", exampleTwoComponents())
-	v2, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "components", nil)
+	v2, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,17 +182,17 @@ func TestMeasureCacheNeverStale(t *testing.T) {
 	// Churn the full LRU across both versions a few times: every
 	// response must match its version's ground truth.
 	for i := 0; i < 5; i++ {
-		got, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "components", nil)
+		got, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "components", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if *got.Value.Scalar != 2 {
 			t.Fatalf("round %d served stale components = %v", i, *got.Value.Scalar)
 		}
-		if _, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "diameter", nil); err != nil {
+		if _, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "diameter", nil); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := svc.Measure("d", false, 1, core.PipelineConfig{}, "clustering-global", nil); err != nil {
+		if _, err := svc.Measure(context.Background(), "d", false, 1, core.PipelineConfig{}, "clustering-global", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -222,10 +223,10 @@ func TestMeasureSweepBatching(t *testing.T) {
 	svc.Add("paper", paperExample())
 
 	// Warm s=2 alone first.
-	if _, err := svc.Measure("paper", false, 2, core.PipelineConfig{}, "components", nil); err != nil {
+	if _, err := svc.Measure(context.Background(), "paper", false, 2, core.PipelineConfig{}, "components", nil); err != nil {
 		t.Fatal(err)
 	}
-	results, err := svc.MeasureSweep("paper", false, []int{3, 1, 2, 2}, core.PipelineConfig{}, "components", nil)
+	results, err := svc.MeasureSweep(context.Background(), "paper", false, []int{3, 1, 2, 2}, core.PipelineConfig{}, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestMeasureSweepBatching(t *testing.T) {
 	if computes != 3 {
 		t.Fatalf("computes = %d, want 3 (s=2 warm + s=1,3 cold)", computes)
 	}
-	again, err := svc.MeasureSweep("paper", false, []int{1, 2, 3}, core.PipelineConfig{}, "components", nil)
+	again, err := svc.MeasureSweep(context.Background(), "paper", false, []int{1, 2, 3}, core.PipelineConfig{}, "components", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,21 +267,21 @@ func TestMeasureSweepBatching(t *testing.T) {
 func TestMeasureErrors(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("paper", paperExample())
-	if _, err := svc.Measure("paper", false, 2, core.PipelineConfig{}, "nope", nil); err == nil ||
+	if _, err := svc.Measure(context.Background(), "paper", false, 2, core.PipelineConfig{}, "nope", nil); err == nil ||
 		!strings.Contains(err.Error(), "components") {
 		t.Fatalf("unknown measure error must list the registry, got %v", err)
 	}
-	if _, err := svc.Measure("ghost", false, 2, core.PipelineConfig{}, "components", nil); err == nil ||
+	if _, err := svc.Measure(context.Background(), "ghost", false, 2, core.PipelineConfig{}, "components", nil); err == nil ||
 		!strings.Contains(err.Error(), "unknown dataset") {
 		t.Fatalf("unknown dataset error, got %v", err)
 	}
-	if _, err := svc.Measure("paper", false, 2, core.PipelineConfig{}, "distances", nil); err == nil {
+	if _, err := svc.Measure(context.Background(), "paper", false, 2, core.PipelineConfig{}, "distances", nil); err == nil {
 		t.Fatal("distances without source must fail")
 	}
 	// A failed compute (absent source hyperedge) must not pollute the
 	// cache or the compute counter's meaning.
 	before := svc.MeasureCacheStats()
-	if _, err := svc.Measure("paper", false, 2, core.PipelineConfig{},
+	if _, err := svc.Measure(context.Background(), "paper", false, 2, core.PipelineConfig{},
 		"distances", map[string]string{"source": "3"}); err == nil {
 		t.Fatal("absent source hyperedge must fail")
 	}

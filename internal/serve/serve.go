@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -109,58 +110,29 @@ func key(name string, version uint64, dual bool, sVal int, cfg core.PipelineConf
 // SLineGraph returns the s-line graph of the named dataset, serving
 // from the cache when possible. cached reports whether Stages 1-4 were
 // skipped (a cache hit, or a concurrent identical request's result was
-// shared via singleflight).
-func (s *Service) SLineGraph(name string, sVal int, cfg core.PipelineConfig) (res *core.PipelineResult, cached bool, err error) {
-	return s.project(name, false, sVal, cfg)
+// shared via singleflight). A cancelled ctx aborts cooperatively with
+// ctx.Err() unless another caller still waits on the same computation,
+// in which case the computation finishes (and is cached) without this
+// caller.
+func (s *Service) SLineGraph(ctx context.Context, name string, sVal int, cfg core.PipelineConfig) (res *core.PipelineResult, cached bool, err error) {
+	return s.project(ctx, name, false, sVal, cfg)
 }
 
 // SCliqueGraph returns the s-clique graph (the s-line graph of the dual
 // hypergraph) of the named dataset, serving from the cache when
 // possible.
-func (s *Service) SCliqueGraph(name string, sVal int, cfg core.PipelineConfig) (res *core.PipelineResult, cached bool, err error) {
-	return s.project(name, true, sVal, cfg)
+func (s *Service) SCliqueGraph(ctx context.Context, name string, sVal int, cfg core.PipelineConfig) (res *core.PipelineResult, cached bool, err error) {
+	return s.project(ctx, name, true, sVal, cfg)
 }
 
-func (s *Service) project(name string, dual bool, sVal int, cfg core.PipelineConfig) (*core.PipelineResult, bool, error) {
-	if sVal < 1 {
-		return nil, false, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
-	}
-	h, version, err := s.reg.Get(name)
+// project serves a single-s request as a batch of one, sharing the
+// batch path's cache probes, singleflight, and cancellation semantics.
+func (s *Service) project(ctx context.Context, name string, dual bool, sVal int, cfg core.PipelineConfig) (*core.PipelineResult, bool, error) {
+	results, cached, err := s.projectBatch(ctx, name, dual, []int{sVal}, cfg)
 	if err != nil {
 		return nil, false, err
 	}
-	if dual {
-		h = h.Dual()
-	}
-	k := key(name, version, dual, sVal, cfg)
-	if res, ok := s.cache.Get(k); ok {
-		return res, true, nil
-	}
-	v, err, shared := s.sf.Do(k, func() (any, error) {
-		// Re-probe under the flight: an identical request may have
-		// completed (and been forgotten by singleflight) between our
-		// cache miss and this call; recomputing would return a
-		// different pointer for the same projection. The hit is
-		// recorded so the cached flag stays truthful.
-		if res, ok := s.cache.Get(k); ok {
-			return projectFlight{res: res, fromCache: true}, nil
-		}
-		res := core.Run(h, sVal, cfg)
-		s.cache.Put(k, res)
-		return projectFlight{res: res}, nil
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	f := v.(projectFlight)
-	return f.res, shared || f.fromCache, nil
-}
-
-// projectFlight is a single-s flight outcome: the result plus whether
-// the flight itself served it from the cache (Stages 1-4 skipped).
-type projectFlight struct {
-	res       *core.PipelineResult
-	fromCache bool
+	return results[sVal], cached[sVal], nil
 }
 
 // batchFlight is a batch flight outcome: per-s results plus which of
@@ -176,23 +148,23 @@ type batchFlight struct {
 // single core.RunBatch pass. cached[s] reports whether Stages 1-4 were
 // skipped for that s (a cache hit, or a concurrent identical batch's
 // result was shared via singleflight).
-func (s *Service) SLineGraphs(name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
-	return s.projectBatch(name, false, sValues, cfg)
+func (s *Service) SLineGraphs(ctx context.Context, name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
+	return s.projectBatch(ctx, name, false, sValues, cfg)
 }
 
 // SCliqueGraphs returns the s-clique graphs (s-line graphs of the dual
 // hypergraph) of the named dataset for every distinct s in sValues,
 // batched and cached like SLineGraphs.
-func (s *Service) SCliqueGraphs(name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
-	return s.projectBatch(name, true, sValues, cfg)
+func (s *Service) SCliqueGraphs(ctx context.Context, name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
+	return s.projectBatch(ctx, name, true, sValues, cfg)
 }
 
-func (s *Service) projectBatch(name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
+func (s *Service) projectBatch(ctx context.Context, name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
 	h, version, err := s.reg.Get(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.projectBatchAt(h, version, name, dual, sValues, cfg)
+	return s.projectBatchAt(ctx, h, version, name, dual, sValues, cfg)
 }
 
 // projectBatchAt is projectBatch against an explicitly pinned dataset
@@ -200,7 +172,7 @@ func (s *Service) projectBatch(name string, dual bool, sValues []int, cfg core.P
 // that version, so callers that already resolved the registry (the
 // measure engine, which must not mix versions within one sweep) stay
 // consistent even if the dataset is concurrently replaced.
-func (s *Service) projectBatchAt(h *hg.Hypergraph, version uint64, name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
+func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version uint64, name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
 	if len(sValues) == 0 {
 		return nil, nil, fmt.Errorf("serve: at least one s value is required")
 	}
@@ -230,9 +202,11 @@ func (s *Service) projectBatchAt(h *hg.Hypergraph, version uint64, name string, 
 	// One planner-driven pass fills every missing s. Singleflight is
 	// keyed on the batch shape, so concurrent identical batches share
 	// one computation; each per-s entry still lands in the cache for
-	// single-s requests to hit.
+	// single-s requests to hit. The flight runs under its own detached
+	// context (fctx): this caller cancelling only aborts the pipeline
+	// if no other caller still waits on the same flight.
 	bk := fmt.Sprintf("batch/%v%s", missing, key(name, version, dual, 0, cfg))
-	v, err, shared := s.sf.Do(bk, func() (any, error) {
+	v, err, shared := s.sf.Do(ctx, bk, func(fctx context.Context) (any, error) {
 		// Re-probe under the flight: an overlapping batch may have
 		// cached some of these s values between our misses and this
 		// call. Hits are recorded so the cached flags stay truthful.
@@ -250,7 +224,11 @@ func (s *Service) projectBatchAt(h *hg.Hypergraph, version uint64, name string, 
 			}
 		}
 		if len(compute) > 0 {
-			for sVal, res := range core.RunBatch(h, compute, cfg) {
+			computed, err := core.RunBatch(fctx, h, compute, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for sVal, res := range computed {
 				s.cache.Put(key(name, version, dual, sVal, cfg), res)
 				out.results[sVal] = res
 			}
@@ -275,8 +253,8 @@ func (s *Service) projectBatchAt(h *hg.Hypergraph, version uint64, name string, 
 // per-s passes otherwise — pinned configurations keep their strategy).
 // It returns the number of results computed and the number of distinct
 // requested s values that were already cached.
-func (s *Service) Warmup(name string, dual bool, sValues []int, cfg core.PipelineConfig) (computed, alreadyHot int, err error) {
-	_, cached, err := s.projectBatch(name, dual, sValues, cfg)
+func (s *Service) Warmup(ctx context.Context, name string, dual bool, sValues []int, cfg core.PipelineConfig) (computed, alreadyHot int, err error) {
+	_, cached, err := s.projectBatch(ctx, name, dual, sValues, cfg)
 	if err != nil {
 		return 0, 0, err
 	}

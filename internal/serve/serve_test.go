@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -38,7 +39,7 @@ func randomHypergraph(seed int64, edges, vertices, meanSize int) *hg.Hypergraph 
 
 func TestUnknownDataset(t *testing.T) {
 	svc := New(Config{})
-	if _, _, err := svc.SLineGraph("nope", 2, core.PipelineConfig{}); err == nil {
+	if _, _, err := svc.SLineGraph(context.Background(), "nope", 2, core.PipelineConfig{}); err == nil {
 		t.Fatal("want error for unknown dataset")
 	}
 	if _, err := svc.Stats("nope"); err == nil {
@@ -49,10 +50,10 @@ func TestUnknownDataset(t *testing.T) {
 func TestRejectsBadS(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("h", paperExample())
-	if _, _, err := svc.SLineGraph("h", 0, core.PipelineConfig{}); err == nil {
+	if _, _, err := svc.SLineGraph(context.Background(), "h", 0, core.PipelineConfig{}); err == nil {
 		t.Fatal("want error for s=0")
 	}
-	if _, _, err := svc.Warmup("h", false, []int{2, 0}, core.PipelineConfig{}); err == nil {
+	if _, _, err := svc.Warmup(context.Background(), "h", false, []int{2, 0}, core.PipelineConfig{}); err == nil {
 		t.Fatal("want error for warmup with s=0")
 	}
 }
@@ -62,14 +63,14 @@ func TestRepeatedQueryHitsCache(t *testing.T) {
 	svc.Add("h", paperExample())
 	cfg := core.PipelineConfig{}
 
-	r1, cached, err := svc.SLineGraph("h", 2, cfg)
+	r1, cached, err := svc.SLineGraph(context.Background(), "h", 2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cached {
 		t.Fatal("first request must be a miss")
 	}
-	r2, cached, err := svc.SLineGraph("h", 2, cfg)
+	r2, cached, err := svc.SLineGraph(context.Background(), "h", 2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRepeatedQueryHitsCache(t *testing.T) {
 	if r1 != r2 {
 		t.Fatal("cache hit must return the identical result pointer")
 	}
-	direct := core.Run(paperExample(), 2, cfg)
+	direct, _ := core.Run(context.Background(), paperExample(), 2, cfg)
 	if !reflect.DeepEqual(r2.Graph.Edges(), direct.Graph.Edges()) {
 		t.Fatal("cached edges differ from a direct pipeline run")
 	}
@@ -91,12 +92,12 @@ func TestRepeatedQueryHitsCache(t *testing.T) {
 func TestExecutionKnobsShareCacheEntry(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("h", paperExample())
-	r1, _, err := svc.SLineGraph("h", 2, core.PipelineConfig{})
+	r1, _, err := svc.SLineGraph(context.Background(), "h", 2, core.PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same request with different worker count / store: same entry.
-	r2, cached, err := svc.SLineGraph("h", 2, core.PipelineConfig{
+	r2, cached, err := svc.SLineGraph(context.Background(), "h", 2, core.PipelineConfig{
 		Core: core.Config{Workers: 3, Store: core.TLSHash},
 	})
 	if err != nil {
@@ -126,7 +127,7 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait()
-			res, _, err := svc.SLineGraph("rand", 2, cfg)
+			res, _, err := svc.SLineGraph(context.Background(), "rand", 2, cfg)
 			if err != nil {
 				t.Error(err)
 				return
@@ -142,7 +143,7 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 			t.Fatalf("goroutine %d got a different result pointer", i)
 		}
 	}
-	direct := core.Run(h, 2, cfg)
+	direct, _ := core.Run(context.Background(), h, 2, cfg)
 	if !reflect.DeepEqual(results[0].Graph.Edges(), direct.Graph.Edges()) {
 		t.Fatal("shared result edges differ from a direct pipeline run")
 	}
@@ -168,9 +169,9 @@ func TestConcurrentMixedRequests(t *testing.T) {
 				sVal := 1 + (g+i)%4
 				var err error
 				if g%2 == 0 {
-					_, _, err = svc.SLineGraph("rand", sVal, cfg)
+					_, _, err = svc.SLineGraph(context.Background(), "rand", sVal, cfg)
 				} else {
-					_, _, err = svc.SCliqueGraph("rand", sVal, cfg)
+					_, _, err = svc.SCliqueGraph(context.Background(), "rand", sVal, cfg)
 				}
 				if err != nil {
 					t.Error(err)
@@ -183,19 +184,19 @@ func TestConcurrentMixedRequests(t *testing.T) {
 
 	// Every distinct projection must equal its direct computation.
 	for sVal := 1; sVal <= 4; sVal++ {
-		res, _, err := svc.SLineGraph("rand", sVal, cfg)
+		res, _, err := svc.SLineGraph(context.Background(), "rand", sVal, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct := core.Run(h, sVal, cfg)
+		direct, _ := core.Run(context.Background(), h, sVal, cfg)
 		if !reflect.DeepEqual(res.Graph.Edges(), direct.Graph.Edges()) {
 			t.Fatalf("s=%d: cached line graph differs from direct run", sVal)
 		}
-		dres, _, err := svc.SCliqueGraph("rand", sVal, cfg)
+		dres, _, err := svc.SCliqueGraph(context.Background(), "rand", sVal, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ddirect := core.Run(h.Dual(), sVal, cfg)
+		ddirect, _ := core.Run(context.Background(), h.Dual(), sVal, cfg)
 		if !reflect.DeepEqual(dres.Graph.Edges(), ddirect.Graph.Edges()) {
 			t.Fatalf("s=%d: cached clique graph differs from direct dual run", sVal)
 		}
@@ -209,7 +210,7 @@ func TestWarmupSeedsCacheIdenticalToDirect(t *testing.T) {
 	cfg := core.PipelineConfig{}
 
 	sweep := []int{1, 2, 3, 4}
-	computed, hot, err := svc.Warmup("rand", false, sweep, cfg)
+	computed, hot, err := svc.Warmup(context.Background(), "rand", false, sweep, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,14 +218,14 @@ func TestWarmupSeedsCacheIdenticalToDirect(t *testing.T) {
 		t.Fatalf("warmup computed %d results (hot %d), want %d, 0", computed, hot, len(sweep))
 	}
 	for _, sVal := range sweep {
-		res, cached, err := svc.SLineGraph("rand", sVal, cfg)
+		res, cached, err := svc.SLineGraph(context.Background(), "rand", sVal, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !cached {
 			t.Fatalf("s=%d: query after warmup must be a cache hit", sVal)
 		}
-		direct := core.Run(h, sVal, cfg)
+		direct, _ := core.Run(context.Background(), h, sVal, cfg)
 		if !reflect.DeepEqual(res.Graph.Edges(), direct.Graph.Edges()) {
 			t.Fatalf("s=%d: warmed ensemble edges differ from direct Algorithm 2 run", sVal)
 		}
@@ -233,7 +234,7 @@ func TestWarmupSeedsCacheIdenticalToDirect(t *testing.T) {
 		}
 	}
 	// A second warmup finds everything hot.
-	if computed, hot, err = svc.Warmup("rand", false, sweep, cfg); err != nil || computed != 0 || hot != len(sweep) {
+	if computed, hot, err = svc.Warmup(context.Background(), "rand", false, sweep, cfg); err != nil || computed != 0 || hot != len(sweep) {
 		t.Fatalf("second warmup: computed=%d hot=%d err=%v, want 0, %d, nil", computed, hot, err, len(sweep))
 	}
 }
@@ -247,15 +248,15 @@ func TestWarmupAlgorithm1RoutedPerS(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("h", h)
 	cfg := core.PipelineConfig{Core: core.Config{Algorithm: core.AlgoSetIntersection}}
-	if _, _, err := svc.Warmup("h", false, []int{1, 2}, cfg); err != nil {
+	if _, _, err := svc.Warmup(context.Background(), "h", false, []int{1, 2}, cfg); err != nil {
 		t.Fatal(err)
 	}
 	for _, sVal := range []int{1, 2} {
-		res, cached, err := svc.SLineGraph("h", sVal, cfg)
+		res, cached, err := svc.SLineGraph(context.Background(), "h", sVal, cfg)
 		if err != nil || !cached {
 			t.Fatalf("s=%d: want warmed hit, cached=%v err=%v", sVal, cached, err)
 		}
-		direct := core.Run(h, sVal, cfg)
+		direct, _ := core.Run(context.Background(), h, sVal, cfg)
 		if !reflect.DeepEqual(res.Graph.Edges(), direct.Graph.Edges()) {
 			t.Fatalf("s=%d: Algorithm 1 warmup differs from direct run", sVal)
 		}
@@ -265,14 +266,14 @@ func TestWarmupAlgorithm1RoutedPerS(t *testing.T) {
 func TestDatasetReplacementInvalidates(t *testing.T) {
 	svc := New(Config{})
 	svc.Add("h", paperExample())
-	r1, _, err := svc.SLineGraph("h", 2, core.PipelineConfig{})
+	r1, _, err := svc.SLineGraph(context.Background(), "h", 2, core.PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Replace under the same name: the version bump must force a fresh
 	// computation.
 	svc.Add("h", hg.FromEdgeSlices([][]uint32{{0, 1, 2}, {0, 1, 2}}, 3))
-	r2, cached, err := svc.SLineGraph("h", 2, core.PipelineConfig{})
+	r2, cached, err := svc.SLineGraph(context.Background(), "h", 2, core.PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

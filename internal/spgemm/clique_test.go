@@ -1,6 +1,7 @@
 package spgemm_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -70,7 +71,7 @@ func TestCliqueExpansionDuality(t *testing.T) {
 			return false
 		}
 		fromW := spgemm.FilterS(w, s)
-		fromDual, _ := core.SLineEdges(h.Dual(), s, core.Config{})
+		fromDual, _, _ := core.SLineEdges(context.Background(), h.Dual(), s, core.Config{})
 		if len(fromW) == 0 && len(fromDual) == 0 {
 			return true
 		}

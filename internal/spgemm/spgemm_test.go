@@ -1,6 +1,7 @@
 package spgemm_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -122,7 +123,7 @@ func TestFilterMatchesAlgorithm2(t *testing.T) {
 		}
 		h := hg.FromEdgeSlices(edges, 25)
 		s := 1 + int(sRaw%4)
-		want, _ := core.SLineEdges(h, s, core.Config{})
+		want, _, _ := core.SLineEdges(context.Background(), h, s, core.Config{})
 		got, err := spgemm.SLineFilter(h, s, par.Options{Workers: 3})
 		if err != nil {
 			return false

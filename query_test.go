@@ -1,0 +1,243 @@
+package hyperline_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"hyperline"
+	"hyperline/internal/experiments"
+)
+
+func paperQueryExample() *hyperline.Hypergraph {
+	return hyperline.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6)
+}
+
+// TestExecuteMatchesLegacyFunctions pins the deprecation contract: the
+// v1 top-level functions are wrappers over Execute and must produce
+// identical projections.
+func TestExecuteMatchesLegacyFunctions(t *testing.T) {
+	h := paperQueryExample()
+	qr, err := hyperline.Execute(context.Background(), hyperline.Query{
+		Hypergraph: h, S: []int{1, 2, 3}, Options: hyperline.Options{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Entries) != 3 {
+		t.Fatalf("want 3 entries, got %d", len(qr.Entries))
+	}
+	legacy := hyperline.SLineGraphs(h, []int{1, 2, 3}, hyperline.Options{})
+	for i, e := range qr.Entries {
+		if e.S != i+1 {
+			t.Fatalf("entries out of order: %v", qr.Entries)
+		}
+		want := legacy[e.S]
+		if !reflect.DeepEqual(e.Result.Graph.Edges(), want.Graph.Edges()) ||
+			!reflect.DeepEqual(e.Result.HyperedgeIDs, want.HyperedgeIDs) {
+			t.Fatalf("s=%d: Execute and SLineGraphs diverged", e.S)
+		}
+	}
+	if qr.Plan.Strategy == "" {
+		t.Fatal("Execute must report the executed plan")
+	}
+
+	// Clique orientation through both routes.
+	cq, err := hyperline.Execute(context.Background(), hyperline.Query{
+		Hypergraph: h, Kind: hyperline.KindClique, S: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC := hyperline.SCliqueGraph(h, 1, hyperline.Options{})
+	if !reflect.DeepEqual(cq.Entries[0].Result.Graph.Edges(), wantC.Graph.Edges()) {
+		t.Fatal("clique Execute diverged from SCliqueGraph")
+	}
+}
+
+// TestExecuteMeasureEntries: a measure query carries one evaluated
+// value per s, matching the legacy per-projection computation.
+func TestExecuteMeasureEntries(t *testing.T) {
+	h := paperQueryExample()
+	qr, err := hyperline.Execute(context.Background(), hyperline.Query{
+		Hypergraph: h, S: []int{1, 2}, Measure: "components",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range qr.Entries {
+		if e.Err != nil || e.Measure == nil || e.Measure.Value.Scalar == nil {
+			t.Fatalf("s=%d: broken measure entry %+v", e.S, e)
+		}
+		want := hyperline.SConnectedComponents(hyperline.SLineGraph(h, e.S, hyperline.Options{}))
+		if int(*e.Measure.Value.Scalar) != want.Count {
+			t.Fatalf("s=%d: %v components, want %d", e.S, *e.Measure.Value.Scalar, want.Count)
+		}
+	}
+}
+
+// TestLegacyBatchBeyondMaxSValues: the deprecated batch functions
+// never had Execute's MaxSValues bound — oversized sweeps must still
+// answer (chunked internally), not panic.
+func TestLegacyBatchBeyondMaxSValues(t *testing.T) {
+	h := paperQueryExample()
+	sweep := make([]int, 1100)
+	for i := range sweep {
+		sweep[i] = i + 1
+	}
+	out := hyperline.SLineGraphs(h, sweep, hyperline.Options{})
+	if len(out) != 1100 {
+		t.Fatalf("got %d results, want 1100", len(out))
+	}
+	want := hyperline.SLineGraph(h, 2, hyperline.Options{})
+	if got := out[2]; got.Graph.NumEdges() != want.Graph.NumEdges() {
+		t.Fatalf("chunked batch diverged at s=2: %d vs %d edges", got.Graph.NumEdges(), want.Graph.NumEdges())
+	}
+}
+
+// TestExecuteValidation: the strict v2 validation surface.
+func TestExecuteValidation(t *testing.T) {
+	h := paperQueryExample()
+	cases := []hyperline.Query{
+		{},                           // no hypergraph, no dataset
+		{Dataset: "x"},               // dataset without session
+		{Hypergraph: h},              // no s values
+		{Hypergraph: h, S: []int{0}}, // s < 1
+		{Hypergraph: h, S: []int{2}, Kind: "triangle"}, // bad kind
+		{Hypergraph: h, S: []int{2}, Measure: "nope"},  // unknown measure
+		{Hypergraph: h, Dataset: "x", S: []int{2}},     // both sources
+		{Hypergraph: h, S: []int{2}, Measure: "pagerank", // bad param
+			Params: map[string]string{"damping": "7"}},
+	}
+	for i, q := range cases {
+		if _, err := hyperline.Execute(context.Background(), q); err == nil {
+			t.Fatalf("case %d must fail: %+v", i, q)
+		}
+	}
+}
+
+// TestSessionExecuteSharesCaches: Session.Execute hits the same caches
+// the deprecated Session methods fill, and vice versa.
+func TestSessionExecuteSharesCaches(t *testing.T) {
+	s := hyperline.NewSession(hyperline.SessionOptions{})
+	s.Add("p", paperQueryExample())
+
+	warm, err := s.SLineGraph("p", 2, hyperline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := s.Execute(context.Background(), hyperline.Query{Dataset: "p", S: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := qr.Entries[0]
+	if !e.Cached {
+		t.Fatal("Execute after SLineGraph must be a cache hit")
+	}
+	if e.Result != warm {
+		t.Fatal("Execute must serve the identical cached pointer")
+	}
+
+	// Measure path: first Execute computes, second is a measure-cache
+	// hit that never consults the projection.
+	m1, err := s.Execute(context.Background(), hyperline.Query{Dataset: "p", S: []int{2}, Measure: "diameter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Entries[0].Cached || m1.Entries[0].Measure == nil {
+		t.Fatalf("first measure query must compute, got %+v", m1.Entries[0])
+	}
+	m2, err := s.Execute(context.Background(), hyperline.Query{Dataset: "p", S: []int{2}, Measure: "diameter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Entries[0].Cached || m2.Entries[0].Measure.Value != m1.Entries[0].Measure.Value {
+		t.Fatalf("second measure query must hit, got %+v", m2.Entries[0])
+	}
+	if stats := s.MeasureCacheStats(); stats.Computes != 1 {
+		t.Fatalf("measure computes = %d, want 1", stats.Computes)
+	}
+
+	// Unknown dataset resolves through the session registry.
+	if _, err := s.Execute(context.Background(), hyperline.Query{Dataset: "ghost", S: []int{2}}); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+// TestExecuteDeadline: Query.Deadline bounds the query on its own,
+// without a caller-side context deadline.
+func TestExecuteDeadline(t *testing.T) {
+	h := experiments.LiveJournalAnalog(1)
+	_, err := hyperline.Execute(context.Background(), hyperline.Query{
+		Hypergraph: h, S: []int{2, 3, 4, 6, 8},
+		Deadline: time.Now().Add(20 * time.Millisecond),
+	})
+	if err == nil {
+		t.Skip("machine fast enough to beat a 20ms deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestExecuteCancelFig8Scale is the acceptance property: on the
+// Fig-8-scale generated hypergraph (the LiveJournal analog the Fig. 8
+// benchmarks use), a cancelled Execute returns context.Canceled within
+// the latency bound while the same query uncancelled takes orders of
+// magnitude longer.
+func TestExecuteCancelFig8Scale(t *testing.T) {
+	h := experiments.LiveJournalAnalog(1)
+	sweep := []int{2, 3, 4, 6, 8}
+	q := hyperline.Query{Hypergraph: h, S: sweep, Options: hyperline.Options{}}
+
+	// Baseline (skipped under the race detector, where it would take
+	// tens of seconds and prove nothing about latency).
+	var baseline time.Duration
+	if !raceEnabled {
+		t0 := time.Now()
+		if _, err := hyperline.Execute(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		baseline = time.Since(t0)
+		t.Logf("uncancelled sweep: %v", baseline)
+	}
+
+	bound := 100 * time.Millisecond
+	if raceEnabled {
+		bound = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		err error
+		at  time.Time
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := hyperline.Execute(ctx, q)
+		done <- outcome{err: err, at: time.Now()}
+	}()
+	select {
+	case o := <-done:
+		t.Skipf("sweep finished before the cancel landed (err=%v)", o.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancelledAt := time.Now()
+	cancel()
+	o := <-done
+	latency := o.at.Sub(cancelledAt)
+	if !errors.Is(o.err, context.Canceled) {
+		t.Fatalf("cancelled Execute returned %v, want context.Canceled", o.err)
+	}
+	if latency > bound {
+		t.Fatalf("cancel latency %v exceeds %v", latency, bound)
+	}
+	t.Logf("cancel latency: %v (baseline %v)", latency, baseline)
+	if baseline > 0 && latency*10 > baseline {
+		t.Fatalf("cancellation saved too little: latency %v vs baseline %v", latency, baseline)
+	}
+}

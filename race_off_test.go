@@ -1,0 +1,7 @@
+//go:build !race
+
+package hyperline_test
+
+// raceEnabled reports whether the race detector is active; timing
+// bounds in the cancellation tests widen under its instrumentation.
+const raceEnabled = false
