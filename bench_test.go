@@ -400,7 +400,7 @@ func BenchmarkAblationToplexOn(b *testing.B) {
 	h := nestedHypergraph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(context.Background(), h, 2, core.PipelineConfig{Toplex: true})
+		core.Run(context.Background(), h, 2, core.PipelineConfig{Toplex: core.ToplexOn})
 	}
 }
 

@@ -31,6 +31,20 @@
 //	curl -X POST -d '{"dataset":"web","s":"1:4","measure":"diameter","timeout_ms":500}' 'localhost:8080/v2/query'
 //	curl 'localhost:8080/v1/measures'
 //	curl 'localhost:8080/v1/cache'
+//	curl 'localhost:8080/v1/datasets/web/costs'
+//
+// Requests may leave the preprocessing knobs to the planner: a config
+// notation with '*' in the relabel position (e.g. "2C*", "AB*") and/or
+// "toplex": "auto" resolve against the dataset's cached statistics
+// before any cache key is derived, so planner-chosen and pinned
+// requests share cache entries whenever they resolve to the same
+// configuration. The response's "plan" reports the resolved knobs and
+// the reason ("knob_reason"). Each dataset version additionally
+// self-calibrates: observed Stage-3 costs per (strategy, knobs, batch
+// shape) feed an online cost model — inspectable at
+// /v1/datasets/{name}/costs — which overrides the planner's static
+// heuristics once a cell has enough observations. Replacing a dataset
+// resets its calibration along with its version.
 package main
 
 import (

@@ -20,7 +20,12 @@
 // as one batched query: the planner decides whether a single ensemble
 // counting pass or per-s passes serve the sweep. -config takes the
 // extended Table III notation (e.g. 2BA, 1CN, ABN, SBN) or the words
-// "auto" (default: planner-chosen) and "spgemm".
+// "auto" (default: planner-chosen) and "spgemm"; a relabel position of
+// '*' (e.g. "2C*", "AB*") lets the planner resolve relabel-by-degree
+// from the dataset's statistics. -toplex likewise takes true, false,
+// or auto (planner-resolved from a sampled containment probe). When
+// the planner chose any knob, the resolved values and the reason are
+// reported on the diagnostics stream as a "knobs:" line.
 //
 // -measure evaluates one registered Stage-5 measure across the sweep
 // and prints a paper-style tab-separated table (scalar measures: one
@@ -63,12 +68,36 @@ func (p paramFlags) Set(v string) error {
 	return nil
 }
 
+// toplexFlag is the tri-state -toplex value: true, false, or auto.
+// IsBoolFlag keeps the historical bare form (-toplex ≡ -toplex=true)
+// working.
+type toplexFlag struct{ mode core.ToplexMode }
+
+func (t *toplexFlag) String() string { return t.mode.String() }
+
+func (t *toplexFlag) Set(v string) error {
+	switch v {
+	case "true":
+		t.mode = core.ToplexOn
+	case "false":
+		t.mode = core.ToplexOff
+	case "auto":
+		t.mode = core.ToplexAuto
+	default:
+		return fmt.Errorf("want true, false, or auto, got %q", v)
+	}
+	return nil
+}
+
+func (t *toplexFlag) IsBoolFlag() bool { return true }
+
 func main() {
 	in := flag.String("in", "", "input hypergraph (.pairs or adjacency lines)")
 	sSpec := flag.String("s", "2", "minimum overlap s: value, list, or lo:hi range (e.g. 8 or 1,4:6)")
 	notation := flag.String("config", "auto", "algorithm/partition/relabel notation (Table III, extended), or auto/spgemm")
 	dual := flag.Bool("dual", false, "compute the s-clique graph (dual hypergraph)")
-	toplex := flag.Bool("toplex", false, "simplify to toplexes first (Stage 2)")
+	var toplex toplexFlag
+	flag.Var(&toplex, "toplex", "Stage-2 toplex simplification: true, false, or auto (planner-resolved)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	metrics := flag.String("metrics", "cc", "comma-separated: cc, bc, pagerank, connectivity")
 	measureName := flag.String("measure", "", "emit an s-sweep table of this registered measure (\"help\" lists them)")
@@ -78,6 +107,14 @@ func main() {
 	out := flag.String("out", "", "optionally write the s-line edge list(s) here (multi-s sweeps prefix each line with s)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional argument means everything after it was
+		// silently dropped by the flag parser — the classic trap is
+		// "-toplex auto", which must be spelled "-toplex=auto"
+		// (boolean-style flags only bind values with '=').
+		fmt.Fprintf(os.Stderr, "slinegraph: unexpected argument %q (boolean-style flags like -toplex take values only as -toplex=auto)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	ctx := context.Background()
 	start := time.Now()
@@ -142,11 +179,12 @@ func main() {
 	fmt.Fprintf(diag, "%v\n", hyperline.ComputeStats(*in, h))
 
 	opt := hyperline.Options{
-		Algorithm: cfg.Algorithm,
-		Partition: cfg.Partition,
-		Relabel:   cfg.Relabel,
-		Workers:   *workers,
-		Toplex:    *toplex,
+		Algorithm:  cfg.Algorithm,
+		Partition:  cfg.Partition,
+		Relabel:    cfg.Relabel,
+		Workers:    *workers,
+		Toplex:     toplex.mode == core.ToplexOn,
+		ToplexAuto: toplex.mode == core.ToplexAuto,
 	}
 	distinct := core.DistinctS(sweep)
 	qr, err := hyperline.Execute(ctx, hyperline.Query{Hypergraph: h, S: sweep, Options: opt})
@@ -200,6 +238,10 @@ func main() {
 		res := results[sVal]
 		fmt.Fprintf(diag, "s=%d line graph: %d nodes, %d edges\n", sVal, res.Graph.NumNodes(), res.Graph.NumEdges())
 		fmt.Fprintf(diag, "plan: %s (%s)\n", res.Plan.Strategy, res.Plan.Reason)
+		if res.Plan.KnobReason != "" {
+			fmt.Fprintf(diag, "knobs: relabel=%s toplex=%t (%s)\n",
+				res.Plan.Relabel, res.Plan.Toplex, res.Plan.KnobReason)
+		}
 		fmt.Fprintf(diag, "stages: preprocess=%v toplex=%v s-overlap=%v squeeze=%v total=%v\n",
 			res.Timings.Preprocess, res.Timings.Toplex, res.Timings.SOverlap,
 			res.Timings.Squeeze, res.Timings.Total())

@@ -142,6 +142,11 @@ const (
 	RelabelNone       = hg.RelabelNone
 	RelabelAscending  = hg.RelabelAscending
 	RelabelDescending = hg.RelabelDescending
+	// RelabelAuto lets the planner resolve the order from the
+	// hypergraph's degree statistics (and, in a Session, from
+	// calibrated cost observations). The resolved order is recorded in
+	// the result's Plan.
+	RelabelAuto = hg.RelabelAuto
 )
 
 // Options configures an s-line graph computation. The zero value runs
@@ -176,6 +181,10 @@ type Options struct {
 	ExactWeights bool
 	// Toplex enables Stage-2 simplification to maximal hyperedges.
 	Toplex bool
+	// ToplexAuto lets the planner decide Stage-2 from the dataset's
+	// sampled containment estimate; it overrides Toplex. The resolved
+	// choice is recorded in the result's Plan.
+	ToplexAuto bool
 	// NoSqueeze keeps the raw hyperedge ID space as node IDs instead
 	// of compacting it (Stage 4).
 	NoSqueeze bool
@@ -185,6 +194,10 @@ func (o Options) pipeline() core.PipelineConfig {
 	store := o.Counters
 	if o.TLSDenseCounters {
 		store = core.TLSDense
+	}
+	toplex := core.ToplexFromBool(o.Toplex)
+	if o.ToplexAuto {
+		toplex = core.ToplexAuto
 	}
 	return core.PipelineConfig{
 		Core: core.Config{
@@ -196,7 +209,7 @@ func (o Options) pipeline() core.PipelineConfig {
 			Store:               store,
 			DisableShortCircuit: o.ExactWeights,
 		},
-		Toplex:    o.Toplex,
+		Toplex:    toplex,
 		NoSqueeze: o.NoSqueeze,
 	}
 }

@@ -104,8 +104,10 @@ func upper(h *hg.Hypergraph, vk, ei uint32, pos []uint32) []uint32 {
 }
 
 // denseStoreBudget caps the total memory StoreAuto will spend on
-// per-worker dense counter arrays (4·m bytes each) before switching to
-// the open-addressing tables.
+// per-worker dense counter arrays (4·m bytes each in the common narrow
+// slot layout) before switching to the open-addressing tables. The
+// rare wide-slot fallback (a hyperedge of ≥ 2¹⁶ vertices) doubles
+// that; the budget is a heuristic and tolerates it.
 const denseStoreBudget = 64 << 20
 
 // chooseStore resolves StoreAuto for one run: dense thread-local
@@ -143,15 +145,35 @@ func avgFrontier(h *hg.Hypergraph) int64 {
 
 // worker2 is the thread-local state of one Algorithm 2 worker.
 type worker2 struct {
-	edges   []Edge // Lt(H), the per-thread edge list, kept (U,V)-sorted
-	wedges  int64
-	pruned  int64
-	counts  []uint32 // TLSDense: dense overlap counters, len m
-	touched []uint32 // TLSDense: indices of non-zero counters
-	table   *oaTable // TLSHash: open-addressing counter table
-	pos     []uint32 // per-vertex resumable suffix cursors (may be nil)
-	stop    *stopFlag
+	edges  []Edge // Lt(H), the per-thread edge list, kept (U,V)-sorted
+	wedges int64
+	pruned int64
+	// counts32/counts64 are the TLSDense epoch-stamped overlap
+	// counters, len m — exactly one is allocated per run. Each slot
+	// packs (epoch << countBits) | count, so advancing the worker's
+	// epoch invalidates every slot at once and the per-iteration
+	// counter reset of the classic TLS layout (one store per touched
+	// slot) disappears. The narrow uint32 layout (16-bit count) is the
+	// default — half the cache footprint of a uint64 slot keeps the
+	// per-worker arrays L2-resident on datasets where the wide layout
+	// spills — and is sound whenever every overlap fits 16 bits
+	// (overlap ≤ max hyperedge size); its 16-bit epoch wraps, so the
+	// array is cleared once per 2¹⁶−1 iterations (amortized to noise).
+	// The wide uint64 layout handles hyperedges of ≥ 2¹⁶ vertices; its
+	// 32-bit epoch cannot wrap (at most m < 2³² iterations per run).
+	counts32 []uint32
+	counts64 []uint64
+	epoch    uint64
+	sink     uint64   // prefetch accumulator; never read
+	touched  []uint32 // TLSDense: slots touched this epoch
+	table    *oaTable // TLSHash: open-addressing counter table
+	pos      []uint32 // per-vertex resumable suffix cursors (may be nil)
+	stop     *stopFlag
 }
+
+// narrowCountBits is the count width of the narrow slot layout; the
+// high 32−narrowCountBits bits hold the epoch.
+const narrowCountBits = 16
 
 // hashmapEdges is Algorithm 2 of the paper: for each hyperedge ei the
 // overlaps with all 2-hop neighbor hyperedges ej > ei are accumulated in
@@ -172,13 +194,21 @@ func hashmapEdges(ctx context.Context, h *hg.Hypergraph, s int, cfg Config) ([]E
 	}
 	flag := watchContext(ctx)
 	workers := make([]worker2, w)
+	narrowDense := false
 	switch store {
 	case TLSDense:
 		// Pre-allocated thread-local storage (§III-F): one dense
-		// counter array per worker, reset via the touched list after
-		// each outer iteration.
+		// epoch-stamped counter array per worker; stale slots are
+		// invalidated by advancing the epoch, never rewritten. Narrow
+		// slots unless a hyperedge is large enough to overflow a
+		// 16-bit overlap count.
+		narrowDense = h.MaxEdgeSize() < 1<<narrowCountBits
 		for i := range workers {
-			workers[i].counts = make([]uint32, m)
+			if narrowDense {
+				workers[i].counts32 = make([]uint32, m)
+			} else {
+				workers[i].counts64 = make([]uint64, m)
+			}
 		}
 	case TLSHash:
 		if hint < 0 {
@@ -206,13 +236,21 @@ func hashmapEdges(ctx context.Context, h *hg.Hypergraph, s int, cfg Config) ([]E
 			return
 		}
 		start := len(st.edges)
+		sorted := false
 		switch store {
 		case TLSDense:
-			hashmapIterDense(h, ei, s, st)
+			if narrowDense {
+				sorted = hashmapIterDenseNarrow(h, ei, s, st)
+			} else {
+				sorted = hashmapIterDenseWide(h, ei, s, st)
+			}
 		case TLSHash:
 			hashmapIterHash(h, ei, s, st)
 		default:
 			hashmapIterMap(h, ei, s, st)
+		}
+		if sorted {
+			return
 		}
 		// Keep the worker list (U, V)-sorted: both distribution
 		// strategies hand each worker strictly increasing ei, so
@@ -250,34 +288,161 @@ func hashmapIterMap(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
 	}
 }
 
+// denseLookahead is how many wedge endpoints ahead the dense counting
+// loop touches the counter array. The counter indices are effectively
+// random within [0, m), so the hardware prefetcher cannot help; an
+// explicit early load lets the out-of-order window overlap the DRAM
+// misses of upcoming increments with the current ones. The distance is
+// a compromise: long enough to cover a miss, short enough that the
+// touched line is still resident when the increment arrives.
+const denseLookahead = 12
+
+// denseStopChunk bounds how many wedge endpoints the dense counting
+// loop processes between stop-flag polls. Heavy-tailed inputs have
+// single neighbor runs of hundreds of thousands of cache-missing
+// increments; polling only per wedge-source vertex would make the
+// cancellation latency proportional to the largest vertex degree.
+const denseStopChunk = 8192
+
+// counterSlot is the dense slot width: narrow uint32 (16-bit count,
+// 16-bit epoch) or wide uint64 (32-bit count, 32-bit epoch).
+type counterSlot interface {
+	~uint32 | ~uint64
+}
+
+// countDense counts one run of wedge endpoints into the epoch-stamped
+// slots (see hashmapIterDense) and returns the updated touched list and
+// prefetch sink. It is the branch-light inner kernel: one predicted
+// append branch per first touch, no per-slot reset.
+func countDense[T counterSlot](counts []T, neighbors []uint32, tag T, touched []uint32, sink T) ([]uint32, T) {
+	i := 0
+	for ; i+denseLookahead < len(neighbors); i++ {
+		sink ^= counts[neighbors[i+denseLookahead]]
+		ej := neighbors[i]
+		c := counts[ej]
+		if c < tag {
+			touched = append(touched, ej)
+			c = tag
+		}
+		counts[ej] = c + 1
+	}
+	for ; i < len(neighbors); i++ {
+		ej := neighbors[i]
+		c := counts[ej]
+		if c < tag {
+			touched = append(touched, ej)
+			c = tag
+		}
+		counts[ej] = c + 1
+	}
+	return touched, sink
+}
+
+// hashmapIterDenseNarrow advances the 16-bit epoch of the narrow slot
+// layout, clearing the array on the (rare) epoch wrap — a wrapped tag
+// of 0 would make every stale slot read as current. It reports whether
+// the emitted segment is already V-sorted.
+func hashmapIterDenseNarrow(h *hg.Hypergraph, ei uint32, s int, st *worker2) bool {
+	st.epoch++
+	if st.epoch == 1<<(32-narrowCountBits) {
+		clear(st.counts32)
+		st.epoch = 1
+	}
+	tag := uint32(st.epoch) << narrowCountBits
+	// tag + s cannot be formed when s overflows the count field; no
+	// overlap can reach such an s anyway, so the scan path just turns
+	// itself off (the touched walk compares counts as ints, safely).
+	scanOK := s < 1<<narrowCountBits
+	return hashmapIterDense(h, ei, s, st, st.counts32, tag, scanOK)
+}
+
+// hashmapIterDenseWide advances the 32-bit epoch of the wide slot
+// layout; one increment per outer iteration and m < 2³² iterations per
+// run mean it cannot wrap. It reports whether the emitted segment is
+// already V-sorted.
+func hashmapIterDenseWide(h *hg.Hypergraph, ei uint32, s int, st *worker2) bool {
+	st.epoch++
+	return hashmapIterDense(h, ei, s, st, st.counts64, st.epoch<<32, uint64(s) < 1<<32)
+}
+
+// denseScanFactor selects the dense emission path: when the touched
+// set covers at least 1/denseScanFactor of the counter array, emitting
+// by an index-order scan of the slots beats walking the touched list —
+// the scan is sequential (the touched walk revisits the slots in
+// first-touch order, a random pattern) and its output is ascending in
+// ej, so the per-iteration segment needs no V-sort at all.
+const denseScanFactor = 8
+
 // hashmapIterDense processes one hyperedge with the pre-allocated
-// dense counter (TLS mode).
-func hashmapIterDense(h *hg.Hypergraph, ei uint32, s int, st *worker2) {
-	counts, touched := st.counts, st.touched[:0]
+// dense epoch-stamped counter (TLS mode): a slot whose stamp predates
+// this iteration's epoch tag reads as zero, so the per-iteration reset
+// loop of the classic layout is gone and the emission scan is
+// read-only. A touched slot holds tag + count, so the overlap is
+// recovered as slot − tag in either slot width. The return value
+// reports whether the emitted segment is already sorted by V (the
+// dense scan path); a false return means the caller must sort it.
+func hashmapIterDense[T counterSlot](h *hg.Hypergraph, ei uint32, s int, st *worker2, counts []T, tag T, scanOK bool) bool {
+	touched := st.touched[:0]
+	sink := T(st.sink)
 	wedges := int64(0)
 	for _, vk := range h.EdgeVertices(ei) {
 		if st.stop.Stop() {
 			// Cancelled mid-iteration: the dirty counters are never
 			// read again (every later iteration sees the flag too).
-			return
+			return true
 		}
 		neighbors := upper(h, vk, ei, st.pos)
 		wedges += int64(len(neighbors))
-		for _, ej := range neighbors {
-			if counts[ej] == 0 {
-				touched = append(touched, ej)
+		for len(neighbors) > denseStopChunk {
+			touched, sink = countDense(counts, neighbors[:denseStopChunk], tag, touched, sink)
+			neighbors = neighbors[denseStopChunk:]
+			if st.stop.Stop() {
+				return true
 			}
-			counts[ej]++
 		}
+		touched, sink = countDense(counts, neighbors, tag, touched, sink)
 	}
 	st.wedges += wedges
-	for _, ej := range touched {
-		if int(counts[ej]) >= s {
-			st.edges = append(st.edges, Edge{U: ei, V: ej, W: counts[ej]})
-		}
-		counts[ej] = 0
-	}
+	st.sink = uint64(sink)
 	st.touched = touched
+	// Reserve the worst case (every touched slot passes the filter) so
+	// the emission appends never grow mid-loop, and grow by doubling:
+	// append's 1.25× policy on a multi-million-edge worker list turns
+	// the tail of the run into repeated large memmoves.
+	if need := len(st.edges) + len(touched); need > cap(st.edges) {
+		newCap := 2 * cap(st.edges)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]Edge, len(st.edges), newCap)
+		copy(grown, st.edges)
+		st.edges = grown
+	}
+	if scanOK && len(touched)*denseScanFactor >= len(counts) {
+		// Dense emission: one sequential pass over the slots. A slot
+		// passes iff it is stamped with this epoch AND its count ≥ s,
+		// which the single comparison against tag+s captures (stale
+		// slots are < tag < tag+s).
+		thresh := tag + T(s)
+		for ej := range counts {
+			if ej&(denseStopChunk-1) == 0 && st.stop.Stop() {
+				return true // partial st.edges are never read after a stop
+			}
+			if c := counts[ej]; c >= thresh {
+				st.edges = append(st.edges, Edge{U: ei, V: uint32(ej), W: uint32(c - tag)})
+			}
+		}
+		return true
+	}
+	for idx, ej := range touched {
+		if idx&(denseStopChunk-1) == 0 && st.stop.Stop() {
+			return false // partial st.edges are never read after a stop
+		}
+		if w := uint32(counts[ej] - tag); int(w) >= s {
+			st.edges = append(st.edges, Edge{U: ei, V: ej, W: w})
+		}
+	}
+	return false
 }
 
 // hashmapIterHash processes one hyperedge with the pre-allocated

@@ -177,8 +177,9 @@ func (c Config) Notation() string {
 
 // ParseNotation parses a Table III shorthand such as "1CN" or "2BA",
 // extended with "3" (ensemble), "A" (planner/auto), and "S" (SpGEMM)
-// in the algorithm position. The bare words "auto" and "spgemm" are
-// accepted as shorthands with default partition and relabeling.
+// in the algorithm position, and "*" (planner-resolved) in the relabel
+// position (e.g. "2C*" or "AB*"). The bare words "auto" and "spgemm"
+// are accepted as shorthands with default partition and relabeling.
 func ParseNotation(s string) (Config, error) {
 	var c Config
 	switch s {
@@ -219,6 +220,10 @@ func ParseNotation(s string) (Config, error) {
 		c.Relabel = hg.RelabelDescending
 	case 'N':
 		c.Relabel = hg.RelabelNone
+	case '*':
+		// Planner-resolved order: ResolveConfig replaces it with a
+		// concrete order from the dataset's statistics before Stage 1.
+		c.Relabel = hg.RelabelAuto
 	default:
 		return c, fmt.Errorf("core: unknown relabel order %q", s[2])
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"hyperline/internal/hg"
-	"hyperline/internal/par"
 )
 
 // EnsembleEdges is Algorithm 3 of the paper: it computes the edge lists
@@ -18,7 +17,11 @@ import (
 // weights — i.e. one Algorithm 2 pass at sMin, reusing its adaptive
 // thread-local counters and sort-free assembly. Each remaining s is
 // then a weight filtration (W ≥ s) of that list, which preserves the
-// sorted order; all s values filter in parallel.
+// sorted order. The filtrations are nested (s' > s implies
+// L_s'(H) ⊆ L_s(H)), so each s filters the previous s's output rather
+// than rescanning the base list — the total filtration work is
+// Σ|result_s| instead of |base|·(number of s values) — with a
+// branch-free inner loop (filterEdgesGE).
 //
 // As the paper notes (§VI-C), the materialization is memory-intensive
 // for small sMin — O(|E(L_sMin)|), the full 1-line graph in the worst
@@ -46,28 +49,15 @@ func EnsembleEdges(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Con
 	}
 	result[sMin] = base
 
-	rest := distinct[1:]
-	lists := make([][]Edge, len(rest))
-	flag := watchContext(ctx)
-	par.For(len(rest), par.Options{Workers: cfg.Workers}, func(_, k int) {
-		if flag.Stop() {
-			return
+	prev := base
+	for _, s := range distinct[1:] {
+		filtered, err := filterEdgesGE(ctx, prev, s)
+		if err != nil {
+			return nil, stats, err
 		}
-		s := rest[k]
-		var edges []Edge
-		for _, e := range base {
-			if int(e.W) >= s {
-				edges = append(edges, e)
-			}
-		}
-		lists[k] = edges
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, stats, err
-	}
-	for k, s := range rest {
-		result[s] = lists[k]
-		stats.Edges += int64(len(lists[k]))
+		prev = filtered
+		result[s] = prev
+		stats.Edges += int64(len(prev))
 	}
 	return result, stats, nil
 }

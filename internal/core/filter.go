@@ -1,0 +1,72 @@
+package core
+
+import "context"
+
+// btoi converts a bool to 0/1. The compiler lowers it to a SETcc, so
+// `k += btoi(cond)` is a branch-free conditional advance — the building
+// block of the filtration loops, whose pass/fail pattern is
+// data-dependent and defeats the branch predictor on weight
+// distributions near the s threshold.
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// filterChunk bounds how many edges the filtration passes scan between
+// ctx polls: base lists at Fig-8 scale run to tens of millions of
+// edges, and an unpolled full pass would make the cancellation latency
+// proportional to the list length.
+const filterChunk = 1 << 18
+
+// filterEdgesGE returns the weight filtration {e : e.W >= s} of a
+// sorted edge list, preserving order (and therefore the BuildSorted
+// input contract). Two branch-free passes: an exact count, then a
+// write-always/advance-conditionally fill into an exactly-sized
+// allocation — no append growth, no per-element branch inside a chunk.
+// ctx is polled once per filterChunk edges; a nil ctx never cancels.
+//
+// When every edge passes, the input slice itself is returned: ensemble
+// filtrations are nested, and pipeline edge lists are immutable by
+// convention, so sharing is safe and keeps the common low-s plateau
+// allocation-free.
+func filterEdgesGE(ctx context.Context, edges []Edge, s int) ([]Edge, error) {
+	s32 := uint32(s)
+	n := 0
+	for lo := 0; lo < len(edges); lo += filterChunk {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		hi := min(lo+filterChunk, len(edges))
+		for i := lo; i < hi; i++ {
+			n += btoi(edges[i].W >= s32)
+		}
+	}
+	if n == len(edges) {
+		return edges, nil
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// One slot of slack lets the fill write unconditionally: a failing
+	// edge lands at out[k] and is overwritten by the next passing one
+	// (or by nothing, past the trimmed length).
+	out := make([]Edge, n+1)
+	k := 0
+	for lo := 0; lo < len(edges); lo += filterChunk {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		hi := min(lo+filterChunk, len(edges))
+		for i := lo; i < hi; i++ {
+			out[k] = edges[i]
+			k += btoi(edges[i].W >= s32)
+		}
+	}
+	return out[:n], nil
+}

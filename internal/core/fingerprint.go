@@ -24,11 +24,19 @@ import "fmt"
 // hyperedges that cannot contribute edges. Requests that differ only in
 // those knobs (or only in which exact-class strategy computes them)
 // therefore share a cache entry.
+// The planner-resolvable knobs (hg.RelabelAuto, ToplexAuto) must be
+// resolved via ResolveConfig before fingerprinting: the serving layer
+// does so at every entry point, which is what lets a planner-chosen
+// configuration share a cache entry with the pinned configuration it
+// resolves to (and split from the ones it does not). An unresolved
+// auto knob fingerprints distinctly ("*" / "auto") rather than
+// colliding with a concrete choice. The Stats, Costs, and KnobReason
+// fields are execution hints and excluded.
 func (c PipelineConfig) Fingerprint() string {
 	class := "exact"
 	if c.Core.Algorithm == AlgoSetIntersection && !c.Core.DisableShortCircuit {
 		class = "shortcircuit"
 	}
-	return fmt.Sprintf("class=%s,relabel=%s,toplex=%t,squeeze=%t",
+	return fmt.Sprintf("class=%s,relabel=%s,toplex=%s,squeeze=%t",
 		class, c.Core.Relabel, c.Toplex, !c.NoSqueeze)
 }

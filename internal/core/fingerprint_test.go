@@ -56,7 +56,7 @@ func TestFingerprintSeparatesOutputRelevantFields(t *testing.T) {
 		{Core: Config{Algorithm: AlgoSetIntersection}},
 		{Core: Config{Relabel: hg.RelabelAscending}},
 		{Core: Config{Relabel: hg.RelabelDescending}},
-		{Toplex: true},
+		{Toplex: ToplexOn},
 		{NoSqueeze: true},
 	}
 	seen := map[string]int{}

@@ -9,19 +9,80 @@ import (
 	"hyperline/internal/toplex"
 )
 
+// ToplexMode selects Stage-2 toplex simplification: off, on, or
+// planner-resolved. The zero value is ToplexOff, so existing callers
+// keep the historical default.
+type ToplexMode uint8
+
+const (
+	// ToplexOff skips Stage 2 (the default).
+	ToplexOff ToplexMode = iota
+	// ToplexOn simplifies the hypergraph to its toplexes before
+	// computing s-overlaps.
+	ToplexOn
+	// ToplexAuto defers the choice to the planner, which resolves it
+	// from the sampled containment estimate (hg.Stats.ToplexSample)
+	// before any pipeline stage runs. Like hg.RelabelAuto it is an
+	// explicit opt-in and never reaches prepare(): ResolveConfig
+	// replaces it with ToplexOff or ToplexOn first.
+	ToplexAuto
+)
+
+// Enabled reports whether Stage 2 runs under this mode. ToplexAuto is
+// unresolved and reports false; resolve it first.
+func (m ToplexMode) Enabled() bool { return m == ToplexOn }
+
+// String names the mode the way flags and JSON spell it.
+func (m ToplexMode) String() string {
+	switch m {
+	case ToplexOff:
+		return "false"
+	case ToplexOn:
+		return "true"
+	case ToplexAuto:
+		return "auto"
+	default:
+		return "?"
+	}
+}
+
+// ToplexFromBool maps the boolean option surface onto the mode.
+func ToplexFromBool(on bool) ToplexMode {
+	if on {
+		return ToplexOn
+	}
+	return ToplexOff
+}
+
 // PipelineConfig configures an end-to-end run of the paper's five-stage
 // s-line graph framework (§IV).
 type PipelineConfig struct {
 	// Core selects the s-overlap strategy (or the planner, AlgoAuto)
 	// and execution knobs; Core.Relabel drives Stage 1's
-	// relabel-by-degree.
+	// relabel-by-degree (hg.RelabelAuto lets the planner choose).
 	Core Config
-	// Toplex enables Stage 2: simplify the hypergraph to its
-	// toplexes before computing s-overlaps.
-	Toplex bool
+	// Toplex selects Stage 2: off, on, or planner-resolved
+	// (ToplexAuto).
+	Toplex ToplexMode
 	// NoSqueeze disables Stage 4's ID squeezing, keeping the (often
 	// hypersparse) hyperedge ID space as graph node IDs.
 	NoSqueeze bool
+
+	// Stats optionally supplies precomputed statistics of the input
+	// hypergraph (the serving layer caches them per dataset version).
+	// When nil, the planner computes them on demand. Stats are an
+	// execution hint and never part of the cache fingerprint.
+	Stats *hg.Stats
+	// Costs optionally attaches a calibration table: RunBatch records
+	// each successful Stage-3 pass into it, and the planner consults
+	// calibrated cells to override its static heuristics. Nil disables
+	// calibration. Not part of the cache fingerprint.
+	Costs *CostModel
+	// KnobReason records why ResolveConfig chose the preprocessing
+	// knobs ("" when the caller pinned them). It is set by
+	// ResolveConfig and surfaced through PlanInfo; not part of the
+	// cache fingerprint.
+	KnobReason string
 }
 
 // StageTimings records wall-clock time per pipeline stage — the rows of
@@ -39,10 +100,19 @@ func (t StageTimings) Total() time.Duration {
 }
 
 // PlanInfo records which strategy the planner executed for a pipeline
-// run and why — the serving layer surfaces it for observability.
+// run, which preprocessing knobs it ran under, and why — the serving
+// layer surfaces it for observability.
 type PlanInfo struct {
 	Strategy string
 	Reason   string
+	// Relabel is the resolved Stage-1 order the run executed
+	// ("N", "A", or "D" — never "*": auto resolves before Stage 1).
+	Relabel string
+	// Toplex reports whether Stage-2 simplification ran.
+	Toplex bool
+	// KnobReason explains the planner's Relabel/Toplex choice; empty
+	// when the caller pinned both knobs.
+	KnobReason string
 }
 
 // PipelineResult is the output of a pipeline run: the s-line graph with
@@ -75,13 +145,14 @@ type prepared struct {
 }
 
 // prepare runs Stage 1 (preprocess + relabel) and Stage 2 (optional
-// toplex simplification) once for a whole query.
+// toplex simplification) once for a whole query. cfg must be resolved
+// (no auto knobs).
 func prepare(h *hg.Hypergraph, cfg PipelineConfig) prepared {
 	t0 := time.Now()
 	pre := hg.Preprocess(h, cfg.Core.Relabel)
 	p := prepared{work: pre.H, edgeOrig: pre.EdgeOrig, preTime: time.Since(t0)}
 
-	if cfg.Toplex {
+	if cfg.Toplex.Enabled() {
 		t1 := time.Now()
 		simplified, keep := toplex.Simplify(p.work)
 		p.topTime = time.Since(t1)
@@ -95,12 +166,31 @@ func prepare(h *hg.Hypergraph, cfg PipelineConfig) prepared {
 	return p
 }
 
+// planningStats returns the statistics the strategy planner consults
+// for a resolved configuration, reusing caller-supplied stats when they
+// still describe the hypergraph Stage 3 will actually see: toplex
+// simplification changes the degree structure, so after Stage 2 the
+// stats are recomputed on the simplified hypergraph. Returns zero stats
+// when the decision does not need them (fully pinned single-s queries).
+func planningStats(p prepared, sValues []int, cfg PipelineConfig) hg.Stats {
+	need := cfg.Core.Algorithm == AlgoAuto ||
+		(cfg.Core.Algorithm == AlgoHashmap && len(DistinctS(sValues)) > 1)
+	if !need {
+		return hg.Stats{}
+	}
+	if !cfg.Toplex.Enabled() && cfg.Stats != nil {
+		return *cfg.Stats
+	}
+	return hg.ComputeStats("", p.work)
+}
+
 // RunBatch executes Stages 1-4 for every distinct s in sValues (clamped
-// to ≥ 1) as one planned query: preprocessing and toplex simplification
-// run once, the planner resolves the s-overlap strategy from the
-// prepared hypergraph's statistics and the batch shape, and Stage 4
-// builds one graph per s. The result maps each distinct clamped s to
-// its projection.
+// to ≥ 1) as one planned query: the planner first resolves any auto
+// preprocessing knobs (ResolveConfig), preprocessing and toplex
+// simplification run once, the planner resolves the s-overlap strategy
+// from the hypergraph's statistics, the batch shape, and any calibrated
+// costs, and Stage 4 builds one graph per s. The result maps each
+// distinct clamped s to its projection.
 //
 // Cancellation is cooperative: the pipeline checks ctx between stages
 // and the Stage-3 strategies poll it inside their worker loops, so a
@@ -111,6 +201,8 @@ func prepare(h *hg.Hypergraph, cfg PipelineConfig) prepared {
 // Stage timings on each result share the pipeline-wide preprocessing
 // and s-overlap costs; squeeze time is per s. Stats are aggregated
 // across the batch (multi-s strategies may share one counting pass).
+// When cfg.Costs is set, the measured Stage-3 cost per distinct s is
+// recorded into it after a successful pass.
 func RunBatch(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg PipelineConfig) (map[int]*PipelineResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -122,19 +214,33 @@ func RunBatch(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Pipeline
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cfg = ResolveConfig(h, sValues, cfg)
 	p := prepare(h, cfg)
 	// Checkpoint between Stages 1-2 and Stage 3.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	dec := planFor(p.work, sValues, cfg.Core)
+	distinct := DistinctS(sValues)
+	dec := PlanQueryCosts(planningStats(p, sValues, cfg), sValues, cfg.Core, cfg.Costs, cfg.Toplex.Enabled())
 	t2 := time.Now()
 	lists, stats, err := dec.Strategy.Edges(ctx, p.work, sValues, dec.Config)
 	if err != nil {
 		return nil, err
 	}
 	overlapTime := time.Since(t2)
+	if cfg.Costs != nil {
+		cfg.Costs.Observe(CostKey{
+			Algo:    dec.Config.Algorithm,
+			Relabel: cfg.Core.Relabel,
+			Toplex:  cfg.Toplex.Enabled(),
+			Multi:   len(distinct) > 1,
+		}, overlapTime/time.Duration(len(distinct)))
+	}
+	plan := dec.Info()
+	plan.Relabel = cfg.Core.Relabel.String()
+	plan.Toplex = cfg.Toplex.Enabled()
+	plan.KnobReason = cfg.KnobReason
 
 	for s, edges := range lists {
 		// Checkpoint between per-s Stage-4 builds.
@@ -156,7 +262,7 @@ func RunBatch(ctx context.Context, h *hg.Hypergraph, sValues []int, cfg Pipeline
 				SOverlap:   overlapTime,
 				Squeeze:    squeeze,
 			},
-			Plan: dec.Info(),
+			Plan: plan,
 		}
 		r.HyperedgeIDs = make([]uint32, g.NumNodes())
 		for node := 0; node < g.NumNodes(); node++ {

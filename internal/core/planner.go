@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"hyperline/internal/hg"
 )
@@ -30,6 +32,28 @@ const (
 	spgemmProductBudget = 1 << 30
 )
 
+// Knob-resolution constants (§III-F, Table III). The thresholds are
+// conservative: below autoKnobMinEdges every configuration finishes in
+// microseconds and the knobs only churn cache keys, so auto resolves to
+// the neutral defaults (RelabelNone, ToplexOff) there.
+const (
+	// autoKnobMinEdges is the smallest hyperedge count for which the
+	// planner considers non-default preprocessing knobs.
+	autoKnobMinEdges = 2048
+	// relabelSkewFactor is the max/avg degree ratio (on either side of
+	// the incidence) past which the planner considers the distribution
+	// skewed enough for ascending relabel-by-degree to pay: the paper's
+	// Table III shows relabeling only matters on heavy-tailed inputs,
+	// where it moves the large hyperedges to the end of the
+	// upper-triangle traversal.
+	relabelSkewFactor = 8
+	// toplexSampleThreshold is the sampled containment fraction
+	// (hg.Stats.ToplexSample) past which Stage-2 simplification is
+	// predicted to pay for itself: at ≥ 25% removable hyperedges the
+	// quadratic Stage-3 saving dominates the linear Stage-2 cost.
+	toplexSampleThreshold = 0.25
+)
+
 // Decision is the planner's resolved execution plan for one query: the
 // strategy to run, the configuration to run it with (Algorithm pinned
 // to the strategy's tag), and the reason, for observability.
@@ -42,6 +66,154 @@ type Decision struct {
 // Info condenses the decision into the pipeline-result form.
 func (d Decision) Info() PlanInfo {
 	return PlanInfo{Strategy: d.Strategy.Name(), Reason: d.Reason}
+}
+
+// ResolveConfig resolves the planner-driven preprocessing knobs of a
+// pipeline configuration: a Relabel of hg.RelabelAuto and a Toplex of
+// ToplexAuto are replaced by concrete choices derived from the input
+// hypergraph's statistics (cfg.Stats when supplied, computed from h —
+// and cached back into cfg.Stats — otherwise) and, for the relabel
+// order, from calibrated cost observations when cfg.Costs has them.
+// The decision is recorded in cfg.KnobReason.
+//
+// Resolution is deterministic for fixed stats and calibration state and
+// idempotent: a configuration without auto knobs is returned unchanged.
+// The serving layer calls this before deriving cache keys, so a
+// planner-chosen configuration shares cache entries with the pinned
+// configuration it resolves to; RunBatch calls it again (a no-op for
+// already-resolved configs) so direct library callers get the same
+// semantics. h may be nil when cfg.Stats is non-nil.
+func ResolveConfig(h *hg.Hypergraph, sValues []int, cfg PipelineConfig) PipelineConfig {
+	relAuto := cfg.Core.Relabel == hg.RelabelAuto
+	topAuto := cfg.Toplex == ToplexAuto
+	if !relAuto && !topAuto {
+		return cfg
+	}
+	if cfg.Stats == nil {
+		st := hg.ComputeStats("", h)
+		if topAuto {
+			// ComputeStats skips the containment probe (it is not free
+			// on latency-bounded paths); only the toplex knob needs it.
+			st.ToplexSample = hg.SampleContainment(h)
+		}
+		cfg.Stats = &st
+	}
+	st := *cfg.Stats
+	var reasons []string
+	if topAuto {
+		mode, why := resolveToplex(st)
+		cfg.Toplex = mode
+		reasons = append(reasons, why)
+	}
+	if relAuto {
+		order, why := resolveRelabel(st, cfg.Costs, cfg.Toplex.Enabled(), len(DistinctS(sValues)) > 1)
+		cfg.Core.Relabel = order
+		reasons = append(reasons, why)
+	}
+	cfg.KnobReason = strings.Join(reasons, "; ")
+	return cfg
+}
+
+// resolveToplex resolves ToplexAuto from the sampled containment
+// estimate: simplification pays when a substantial fraction of
+// hyperedges are contained in others (each removed hyperedge deletes
+// all its wedges from Stage 3).
+func resolveToplex(st hg.Stats) (ToplexMode, string) {
+	if st.NumEdges >= autoKnobMinEdges && st.ToplexSample >= toplexSampleThreshold {
+		return ToplexOn, fmt.Sprintf("toplex=on: ~%.0f%% of sampled hyperedges are contained in another (>= %.0f%%)",
+			st.ToplexSample*100, toplexSampleThreshold*100)
+	}
+	return ToplexOff, fmt.Sprintf("toplex=off: ~%.0f%% sampled containment below %.0f%% (|E|=%d)",
+		st.ToplexSample*100, toplexSampleThreshold*100, st.NumEdges)
+}
+
+// resolveRelabel resolves hg.RelabelAuto: calibrated cost observations
+// win when at least two orders have been measured; otherwise ascending
+// relabel-by-degree is chosen for skewed degree distributions (the
+// regime where Table III shows it pays) and the input order is kept
+// everywhere else.
+func resolveRelabel(st hg.Stats, costs *CostModel, toplexOn, multi bool) (hg.RelabelOrder, string) {
+	if order, why, ok := calibratedRelabel(costs, toplexOn, multi); ok {
+		return order, why
+	}
+	if st.NumEdges >= autoKnobMinEdges && degreeSkewed(st) {
+		return hg.RelabelAscending, fmt.Sprintf(
+			"relabel=A: skewed degrees (max/avg hyperedge size %.1fx, vertex degree %.1fx)",
+			skewRatio(st.MaxEdgeSize, st.AvgEdgeSize), skewRatio(st.MaxVertexDegree, st.AvgVertexDegree))
+	}
+	return hg.RelabelNone, fmt.Sprintf("relabel=N: no significant degree skew (|E|=%d)", st.NumEdges)
+}
+
+// degreeSkewed reports whether either side of the incidence has a
+// heavy-tailed degree distribution.
+func degreeSkewed(st hg.Stats) bool {
+	return skewRatio(st.MaxEdgeSize, st.AvgEdgeSize) >= relabelSkewFactor ||
+		skewRatio(st.MaxVertexDegree, st.AvgVertexDegree) >= relabelSkewFactor
+}
+
+// skewRatio is max/avg with the average floored at 1 (degenerate
+// averages below one incidence per element would otherwise report
+// arbitrary skew on near-empty hypergraphs).
+func skewRatio(max int, avg float64) float64 {
+	if avg < 1 {
+		avg = 1
+	}
+	return float64(max) / avg
+}
+
+// relabelCandidates are the concrete orders auto resolves among, in
+// tie-break priority order.
+var relabelCandidates = [...]hg.RelabelOrder{hg.RelabelNone, hg.RelabelAscending, hg.RelabelDescending}
+
+// calibratedRelabel picks the relabel order with the cheapest
+// calibrated Stage-3 cost, comparing each order's best strategy under
+// the same toplex setting and batch shape. It abstains (ok=false)
+// unless at least two orders have calibrated cells — a single measured
+// order proves nothing about the alternatives.
+func calibratedRelabel(costs *CostModel, toplexOn, multi bool) (hg.RelabelOrder, string, bool) {
+	if costs == nil {
+		return 0, "", false
+	}
+	var (
+		observed int
+		best     hg.RelabelOrder
+		bestCost time.Duration
+		found    bool
+	)
+	for _, order := range relabelCandidates {
+		cost, ok := bestStrategyCost(costs, order, toplexOn, multi)
+		if !ok {
+			continue
+		}
+		observed++
+		if !found || cost < bestCost {
+			best, bestCost, found = order, cost, true
+		}
+	}
+	if observed < 2 {
+		return 0, "", false
+	}
+	return best, fmt.Sprintf("relabel=%s: calibrated Stage-3 cost ~%s/s is the cheapest of %d measured orders",
+		best, bestCost.Round(time.Microsecond), observed), true
+}
+
+// bestStrategyCost returns the cheapest calibrated per-s estimate among
+// all strategies for one (relabel, toplex, multi) knob combination.
+func bestStrategyCost(costs *CostModel, order hg.RelabelOrder, toplexOn, multi bool) (time.Duration, bool) {
+	var (
+		best  time.Duration
+		found bool
+	)
+	for _, algo := range [...]Algorithm{AlgoSetIntersection, AlgoHashmap, AlgoEnsemble, AlgoSpGEMM} {
+		d, calibrated := costs.Estimate(CostKey{Algo: algo, Relabel: order, Toplex: toplexOn, Multi: multi})
+		if !calibrated {
+			continue
+		}
+		if !found || d < best {
+			best, found = d, true
+		}
+	}
+	return best, found
 }
 
 // PlanQuery resolves the strategy for one query from the hypergraph's
@@ -70,6 +242,20 @@ func (d Decision) Info() PlanInfo {
 //     exact mode performs the same wedge traversal plus the
 //     intersections, and short-circuit mode changes the output class.
 func PlanQuery(st hg.Stats, sValues []int, cfg Config) Decision {
+	return PlanQueryCosts(st, sValues, cfg, nil, false)
+}
+
+// PlanQueryCosts is PlanQuery with self-calibration: when costs holds
+// calibrated observations (>= CalibrationMin measured passes per cell)
+// for every candidate strategy of an AlgoAuto decision point, the
+// measured per-s estimates override the static byte-count heuristics.
+// Only choices among exact-weight strategies are ever overridden — the
+// output class, and therefore the cache fingerprint, is independent of
+// calibration — and SpGEMM's memory budget guard still applies even to
+// a calibrated win. toplexOn selects which calibration cells describe
+// this run (Stage-3 cost after simplification differs materially from
+// cost without it). A nil costs reproduces PlanQuery exactly.
+func PlanQueryCosts(st hg.Stats, sValues []int, cfg Config, costs *CostModel, toplexOn bool) Decision {
 	distinct := DistinctS(sValues)
 	multi := len(distinct) > 1
 
@@ -91,6 +277,9 @@ func PlanQuery(st hg.Stats, sValues []int, cfg Config) Decision {
 
 	// AlgoAuto: choose among the exact-weight strategies.
 	if multi {
+		if dec, ok := calibratedChoice(cfg, costs, toplexOn, true, AlgoEnsemble, AlgoHashmap, ensembleFits(st)); ok {
+			return dec
+		}
 		if ensembleFits(st) {
 			return pin(cfg, AlgoEnsemble,
 				fmt.Sprintf("multi-s batch (%d values): one ensemble counting pass, ~%d counters fit the budget", len(distinct), st.WedgePairs))
@@ -103,11 +292,67 @@ func PlanQuery(st hg.Stats, sValues []int, cfg Config) Decision {
 		return pin(cfg, AlgoHashmap,
 			fmt.Sprintf("s=%d exceeds the largest hyperedge (%d): pruning makes the result trivially empty", s, st.MaxEdgeSize))
 	}
-	if s == 1 && spgemmRegime(st) {
-		return pin(cfg, AlgoSpGEMM,
-			"s=1 on a dense hypergraph: filtering discards nothing, so the materialized upper-triangle product costs no more than the output")
+	if s == 1 {
+		if dec, ok := calibratedChoice(cfg, costs, toplexOn, false, AlgoSpGEMM, AlgoHashmap, spgemmBudgetFits(st)); ok {
+			return dec
+		}
+		if spgemmRegime(st) {
+			return pin(cfg, AlgoSpGEMM,
+				"s=1 on a dense hypergraph: filtering discards nothing, so the materialized upper-triangle product costs no more than the output")
+		}
 	}
 	return pin(cfg, AlgoHashmap, "single-s query: hashmap counting is the exact-weight cost floor")
+}
+
+// calibratedChoice decides one AlgoAuto decision point — candidate vs
+// fallback — from calibrated observations. It abstains unless both
+// cells are calibrated under the same knobs and batch shape; the
+// candidate additionally needs its memory budget (candidateFits) even
+// when measured faster, because the calibration table records time, not
+// peak memory.
+func calibratedChoice(cfg Config, costs *CostModel, toplexOn, multi bool, candidate, fallback Algorithm, candidateFits bool) (Decision, bool) {
+	if costs == nil {
+		return Decision{}, false
+	}
+	candCost, candOK := costs.Estimate(CostKey{Algo: candidate, Relabel: cfg.Relabel, Toplex: toplexOn, Multi: multi})
+	fallCost, fallOK := costs.Estimate(CostKey{Algo: fallback, Relabel: cfg.Relabel, Toplex: toplexOn, Multi: multi})
+	if !candOK || !fallOK {
+		return Decision{}, false
+	}
+	winner := fallback
+	winCost, loseCost := fallCost, candCost
+	if candidateFits && candCost < fallCost {
+		winner = candidate
+		winCost, loseCost = candCost, fallCost
+	}
+	return pin(cfg, winner, fmt.Sprintf(
+		"calibrated: %s measured ~%s/s vs %s ~%s/s on this dataset",
+		algoName(winner), winCost.Round(time.Microsecond),
+		algoName(loser(winner, candidate, fallback)), loseCost.Round(time.Microsecond))), true
+}
+
+// loser names the strategy calibration rejected.
+func loser(winner, a, b Algorithm) Algorithm {
+	if winner == a {
+		return b
+	}
+	return a
+}
+
+// algoName renders an algorithm by its registered strategy name, for
+// plan reasons.
+func algoName(a Algorithm) string {
+	if s, err := StrategyFor(a); err == nil {
+		return s.Name()
+	}
+	return a.String()
+}
+
+// spgemmBudgetFits is spgemmRegime's memory guard alone: the
+// density-regime test is a heuristic calibration may override, the
+// budget is not.
+func spgemmBudgetFits(st hg.Stats) bool {
+	return st.WedgePairs <= spgemmProductBudget/spgemmBytesPerEntry
 }
 
 // pin resolves cfg onto a registered strategy. The registry is

@@ -204,12 +204,13 @@ func buildSortedSerial(numNodes int, edges []Edge, squeeze bool) *Graph {
 		g.adj[cursor[v]], g.wgt[cursor[v]] = uint32(u), e.W
 		cursor[v]++
 	}
-	for u := 0; u < g.numNodes; u++ {
-		lo, hi := g.off[u], g.off[u+1]
-		row := rowSorter{ids: g.adj[lo:hi], ws: g.wgt[lo:hi]}
-		if !sort.IsSorted(row) {
-			sort.Sort(row)
-		}
-	}
+	// No row-sort pass: the sequential scatter leaves every row sorted
+	// by construction. Row x receives its backward neighbors first —
+	// edges (u, x) precede edges (x, v) in the (U, V)-sorted input
+	// because u < x — in ascending u, then its forward neighbors in
+	// ascending v, and u < x < v splices the two runs in order. The
+	// squeeze remap preserves this (newID is monotone). The parallel
+	// path cannot rely on it: its atomic cursors scatter rows in
+	// scheduling order.
 	return g
 }

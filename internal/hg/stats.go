@@ -20,6 +20,16 @@ type Stats struct {
 	// counters Algorithm 3 must materialize, which makes it the
 	// planner's primary cost-model input.
 	WedgePairs int64
+	// ToplexSample estimates, from a deterministic sampled containment
+	// probe (SampleContainment), the fraction of hyperedges that are
+	// not toplexes — i.e. the fraction Stage-2 simplification would
+	// remove. It drives the planner's toplex knob; the exact ratio
+	// costs a full Toplexes pass. ComputeStats leaves it zero (the
+	// probe, though capped, is not free and sits on latency-bounded
+	// paths); populate it with SampleContainment where the toplex knob
+	// is actually resolved, as the serving registry does at dataset
+	// registration.
+	ToplexSample float64
 }
 
 // ComputeStats derives Table IV-style statistics for h.
@@ -43,6 +53,83 @@ func ComputeStats(name string, h *Hypergraph) Stats {
 		s.WedgePairs += d * (d - 1) / 2
 	}
 	return s
+}
+
+// Containment-probe bounds. The probe is a planner input, not an exact
+// Stage-2 answer, so both the number of sampled hyperedges and the
+// per-sample candidate scan are capped: the whole probe costs
+// O(containmentSamples · containmentScanCap · ∆e) in the worst case,
+// independent of |E|.
+const (
+	// containmentSamples is how many hyperedges the probe inspects,
+	// spread over the ID space with a fixed stride.
+	containmentSamples = 64
+	// containmentScanCap bounds how many candidate containers are
+	// tested per sampled hyperedge before the probe gives up on it
+	// (counting it as a toplex, the conservative direction: an
+	// underestimate can only make the planner skip simplification).
+	containmentScanCap = 128
+)
+
+// SampleContainment estimates the fraction of hyperedges that are not
+// toplexes by testing a deterministic stride-spread sample of
+// hyperedges for containment in another hyperedge. A sampled hyperedge
+// e counts as contained when some hyperedge f ⊇ e exists with f ≠ e;
+// among identical vertex sets only the lowest ID counts as the toplex,
+// matching Stage 2's duplicate rule. Candidates are scanned through
+// e's lowest-degree member vertex (every container of e must contain
+// it), capped at containmentScanCap candidates per sample.
+func SampleContainment(h *Hypergraph) float64 {
+	m := h.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	stride := m / containmentSamples
+	if stride < 1 {
+		stride = 1
+	}
+	sampled, contained := 0, 0
+	for e := 0; e < m; e += stride {
+		sampled++
+		if sampledEdgeContained(h, uint32(e)) {
+			contained++
+		}
+	}
+	return float64(contained) / float64(sampled)
+}
+
+// sampledEdgeContained reports whether hyperedge e is strictly
+// contained in (or a higher-ID duplicate of) another hyperedge, giving
+// up after containmentScanCap candidates.
+func sampledEdgeContained(h *Hypergraph, e uint32) bool {
+	verts := h.EdgeVertices(e)
+	if len(verts) == 0 {
+		return true // empty hyperedges are never toplexes
+	}
+	probe := verts[0]
+	for _, v := range verts[1:] {
+		if h.VertexDegree(v) < h.VertexDegree(probe) {
+			probe = v
+		}
+	}
+	scanned := 0
+	size := len(verts)
+	for _, f := range h.VertexEdges(probe) {
+		if f == e {
+			continue
+		}
+		fs := h.EdgeSize(f)
+		if fs < size || (fs == size && f > e) {
+			continue // too small, or the duplicate rule keeps e
+		}
+		if scanned++; scanned > containmentScanCap {
+			return false
+		}
+		if IntersectSize(verts, h.EdgeVertices(f)) == size {
+			return true
+		}
+	}
+	return false
 }
 
 // String formats the stats as one row in the style of Table IV.

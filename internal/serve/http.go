@@ -29,6 +29,7 @@ import (
 //	GET    /v1/datasets/{name}
 //	DELETE /v1/datasets/{name}
 //	POST   /v1/datasets/{name}/warmup                 {"s": [..] | "lo:hi,..", "dual": bool, ...}
+//	GET    /v1/datasets/{name}/costs
 //	GET    /v1/datasets/{name}/slinegraph?s=N
 //	GET    /v1/datasets/{name}/scliquegraph?s=N
 //	GET    /v1/datasets/{name}/slinegraphs?s=LIST
@@ -102,6 +103,9 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/datasets/{name}/warmup", func(w http.ResponseWriter, r *http.Request) {
 		handleWarmup(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/costs", func(w http.ResponseWriter, r *http.Request) {
+		handleCosts(svc, w, r)
 	})
 	mux.HandleFunc("GET /v1/datasets/{name}/slinegraph", func(w http.ResponseWriter, r *http.Request) {
 		handleProjection(svc, w, r, false)
@@ -180,7 +184,7 @@ func parseOptions(r *http.Request) (core.PipelineConfig, error) {
 		cfg.Core.Workers = clampWorkers(n)
 	}
 	var err error
-	if cfg.Toplex, err = boolParam(q.Get("toplex")); err != nil {
+	if cfg.Toplex, err = toplexParam(q.Get("toplex")); err != nil {
 		return cfg, err
 	}
 	if cfg.NoSqueeze, err = boolParam(q.Get("nosqueeze")); err != nil {
@@ -201,6 +205,16 @@ func clampWorkers(n int) int {
 		return max
 	}
 	return n
+}
+
+// toplexParam parses the toplex query parameter: a boolean, or "auto"
+// for the planner-resolved mode.
+func toplexParam(v string) (core.ToplexMode, error) {
+	if v == "auto" {
+		return core.ToplexAuto, nil
+	}
+	b, err := boolParam(v)
+	return core.ToplexFromBool(b), err
 }
 
 func boolParam(v string) (bool, error) {
@@ -283,7 +297,7 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 		S         json.RawMessage `json:"s"`
 		Dual      bool            `json:"dual"`
 		Config    string          `json:"config"`
-		Toplex    bool            `json:"toplex"`
+		Toplex    toplexJSON      `json:"toplex"`
 		NoSqueeze bool            `json:"nosqueeze"`
 		Exact     bool            `json:"exact"`
 		Workers   int             `json:"workers"`
@@ -306,7 +320,7 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Core = c
 	}
-	cfg.Toplex = req.Toplex
+	cfg.Toplex = req.Toplex.mode
 	cfg.NoSqueeze = req.NoSqueeze
 	cfg.Core.DisableShortCircuit = req.Exact
 	cfg.Core.Workers = clampWorkers(req.Workers)
@@ -320,6 +334,57 @@ func handleWarmup(svc *Service, w http.ResponseWriter, r *http.Request) {
 		"computed":    computed,
 		"already_hot": hot,
 		"elapsed_ms":  float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// costCellJSON renders one calibration cell with human-readable knob
+// names (the library form, core.CostObservation, carries typed enums).
+type costCellJSON struct {
+	Strategy   string  `json:"strategy"`
+	Relabel    string  `json:"relabel"`
+	Toplex     bool    `json:"toplex"`
+	Multi      bool    `json:"multi"`
+	PerSMS     float64 `json:"per_s_ms"`
+	N          int64   `json:"n"`
+	Calibrated bool    `json:"calibrated"`
+}
+
+func toCostCells(obs []core.CostObservation) []costCellJSON {
+	out := make([]costCellJSON, len(obs))
+	for i, o := range obs {
+		name := o.Key.Algo.String()
+		if st, err := core.StrategyFor(o.Key.Algo); err == nil {
+			name = st.Name()
+		}
+		out[i] = costCellJSON{
+			Strategy:   name,
+			Relabel:    o.Key.Relabel.String(),
+			Toplex:     o.Key.Toplex,
+			Multi:      o.Key.Multi,
+			PerSMS:     float64(o.PerS) / float64(time.Millisecond),
+			N:          o.N,
+			Calibrated: o.Calibrated,
+		}
+	}
+	return out
+}
+
+// handleCosts serves GET /v1/datasets/{name}/costs: the
+// self-calibrating planner's observed Stage-3 cost table for the
+// dataset's current version, per orientation. Fresh (or freshly
+// replaced) datasets report empty tables — calibration never survives
+// a version bump.
+func handleCosts(svc *Service, w http.ResponseWriter, r *http.Request) {
+	info, err := svc.Calibration(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    info.Name,
+		"version": info.Version,
+		"line":    toCostCells(info.Line),
+		"clique":  toCostCells(info.Clique),
 	})
 }
 
@@ -354,11 +419,29 @@ type graphResponse struct {
 	Plan         planJSON    `json:"plan"`
 }
 
-// planJSON surfaces the executed plan (strategy + reason) for
-// observability.
+// planJSON surfaces the executed plan — the Stage-3 strategy, the
+// resolved preprocessing knobs, and their reasons — for observability.
 type planJSON struct {
 	Strategy string `json:"strategy"`
 	Reason   string `json:"reason,omitempty"`
+	// Relabel is the resolved Stage-1 order ("N", "A", or "D").
+	Relabel string `json:"relabel,omitempty"`
+	// Toplex reports whether Stage-2 simplification ran.
+	Toplex bool `json:"toplex"`
+	// KnobReason explains the planner's knob choices; empty when the
+	// caller pinned them.
+	KnobReason string `json:"knob_reason,omitempty"`
+}
+
+// toPlan maps a pipeline plan into its JSON form.
+func toPlan(p core.PlanInfo) planJSON {
+	return planJSON{
+		Strategy:   p.Strategy,
+		Reason:     p.Reason,
+		Relabel:    p.Relabel,
+		Toplex:     p.Toplex,
+		KnobReason: p.KnobReason,
+	}
 }
 
 type timingsJSON struct {
@@ -421,7 +504,7 @@ func toGraphResponse(name string, sVal int, dual, cached, includeEdges bool, res
 		Edges:        res.Graph.NumEdges(),
 		HyperedgeIDs: res.HyperedgeIDs,
 		TimingsMS:    toTimings(res.Timings),
-		Plan:         planJSON{Strategy: res.Plan.Strategy, Reason: res.Plan.Reason},
+		Plan:         toPlan(res.Plan),
 	}
 	if includeEdges {
 		edges := res.Graph.Edges()

@@ -24,11 +24,32 @@ type queryRequestJSON struct {
 	Params    map[string]string `json:"params,omitempty"`
 	Config    string            `json:"config,omitempty"`
 	Workers   int               `json:"workers,omitempty"`
-	Toplex    bool              `json:"toplex,omitempty"`
+	Toplex    toplexJSON        `json:"toplex,omitempty"`
 	NoSqueeze bool              `json:"nosqueeze,omitempty"`
 	Exact     bool              `json:"exact,omitempty"`
 	Edges     bool              `json:"edges,omitempty"`
 	TimeoutMS int               `json:"timeout_ms,omitempty"`
+}
+
+// toplexJSON accepts the two JSON spellings of the toplex knob: a
+// boolean, or the string "auto" for the planner-resolved mode. The
+// zero value (field omitted) is ToplexOff, the historical default.
+type toplexJSON struct {
+	mode core.ToplexMode
+}
+
+func (t *toplexJSON) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case "true":
+		t.mode = core.ToplexOn
+	case "false", "null":
+		t.mode = core.ToplexOff
+	case `"auto"`:
+		t.mode = core.ToplexAuto
+	default:
+		return fmt.Errorf("serve: bad toplex %s (want true, false, or \"auto\")", b)
+	}
+	return nil
 }
 
 // queryEntryJSON is one per-s result of a v2 query. Exactly one of
@@ -99,7 +120,7 @@ func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Core = c
 	}
-	cfg.Toplex = req.Toplex
+	cfg.Toplex = req.Toplex.mode
 	cfg.NoSqueeze = req.NoSqueeze
 	cfg.Core.DisableShortCircuit = req.Exact
 	if req.Workers < 0 {
@@ -137,7 +158,8 @@ func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
 		Results:   make([]queryEntryJSON, len(qr.Entries)),
 	}
 	if qr.Plan.Strategy != "" {
-		resp.Plan = &planJSON{Strategy: qr.Plan.Strategy, Reason: qr.Plan.Reason}
+		plan := toPlan(qr.Plan)
+		resp.Plan = &plan
 	}
 	for i, e := range qr.Entries {
 		out := queryEntryJSON{S: e.S, Cached: e.Cached}

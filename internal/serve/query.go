@@ -107,6 +107,13 @@ func (s *Service) Query(ctx context.Context, q QueryRequest) (*QueryResult, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Resolve planner-driven auto knobs once, up front: the measure
+	// cache keys below embed the configuration fingerprint, so they
+	// must name the concrete knobs the pipeline would run, or a
+	// planner-chosen query would miss the entries its pinned twin
+	// cached. projectBatchAt resolves again — idempotently — for
+	// callers that skip Query.
+	q.Cfg = s.resolveAt(h, version, q.Dataset, q.Dual, core.DistinctS(q.S), q.Cfg)
 
 	distinct := core.DistinctS(q.S)
 	out := &QueryResult{Entries: make([]QueryEntry, len(distinct))}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"hyperline/internal/core"
 	"hyperline/internal/hg"
 	"hyperline/internal/hgio"
 )
@@ -27,11 +28,48 @@ type DatasetInfo struct {
 // which flows into every cache key derived from it — stale results are
 // never served, they simply age out of the LRU. Stats are computed once
 // at registration (they are immutable per version, and recomputing them
-// scans the whole hypergraph).
+// scans the whole hypergraph), including the sampled containment probe
+// the planner's toplex knob reads; dual-orientation stats are computed
+// lazily on the first clique-side query that needs them.
+//
+// Each version also owns two fresh calibration tables (line and clique
+// orientation — their Stage-3 costs differ because the dual swaps the
+// degree structure). Tying the tables to the dataset value means
+// replacing a dataset implicitly discards its calibration: observations
+// of the old hypergraph say nothing about the new one.
 type dataset struct {
 	h       *hg.Hypergraph
 	version uint64
 	stats   hg.Stats
+
+	costs     *core.CostModel // line-orientation calibration
+	dualCosts *core.CostModel // clique-orientation calibration
+	dualOnce  sync.Once
+	dualStats hg.Stats
+}
+
+// statsFor returns the statistics of the orientation a query actually
+// projects; the dual side is computed on first use and cached for the
+// life of this version.
+func (d *dataset) statsFor(dual bool) hg.Stats {
+	if !dual {
+		return d.stats
+	}
+	d.dualOnce.Do(func() {
+		dh := d.h.Dual()
+		st := hg.ComputeStats(d.stats.Name+"/dual", dh)
+		st.ToplexSample = hg.SampleContainment(dh)
+		d.dualStats = st
+	})
+	return d.dualStats
+}
+
+// costsFor returns the calibration table of one orientation.
+func (d *dataset) costsFor(dual bool) *core.CostModel {
+	if dual {
+		return d.dualCosts
+	}
+	return d.costs
 }
 
 // Registry is a thread-safe name → hypergraph table. Hypergraphs are
@@ -51,10 +89,17 @@ func NewRegistry() *Registry {
 // name, and returns the assigned version.
 func (r *Registry) Add(name string, h *hg.Hypergraph) uint64 {
 	stats := hg.ComputeStats(name, h)
+	stats.ToplexSample = hg.SampleContainment(h)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextVer++
-	r.byName[name] = &dataset{h: h, version: r.nextVer, stats: stats}
+	r.byName[name] = &dataset{
+		h:         h,
+		version:   r.nextVer,
+		stats:     stats,
+		costs:     core.NewCostModel(),
+		dualCosts: core.NewCostModel(),
+	}
 	return r.nextVer
 }
 
@@ -87,6 +132,49 @@ func (r *Registry) Get(name string) (*hg.Hypergraph, uint64, error) {
 		return nil, 0, fmt.Errorf("serve: %w %q", ErrUnknownDataset, name)
 	}
 	return d.h, d.version, nil
+}
+
+// at returns the named dataset only while version is still its current
+// version. Callers holding a pinned snapshot (hypergraph + version) use
+// it to reach the version's cached stats and calibration tables; after
+// a concurrent replacement it reports false and the caller falls back
+// to computing what it needs from the snapshot itself.
+func (r *Registry) at(name string, version uint64) (*dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[name]
+	if !ok || d.version != version {
+		return nil, false
+	}
+	return d, true
+}
+
+// Calibration snapshots the named dataset's calibration tables for both
+// orientations.
+func (r *Registry) Calibration(name string) (CalibrationInfo, error) {
+	r.mu.RLock()
+	d, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return CalibrationInfo{}, fmt.Errorf("serve: %w %q", ErrUnknownDataset, name)
+	}
+	return CalibrationInfo{
+		Name:    name,
+		Version: d.version,
+		Line:    d.costs.Snapshot(),
+		Clique:  d.dualCosts.Snapshot(),
+	}, nil
+}
+
+// CalibrationInfo is the observed Stage-3 cost state of one dataset
+// version: every (strategy, relabel, toplex, batch-shape) cell the
+// service has measured, per orientation, with its smoothed per-s
+// estimate and observation count.
+type CalibrationInfo struct {
+	Name    string                 `json:"name"`
+	Version uint64                 `json:"version"`
+	Line    []core.CostObservation `json:"line"`
+	Clique  []core.CostObservation `json:"clique"`
 }
 
 // Stats returns the registration-time statistics of the named dataset.

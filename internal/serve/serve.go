@@ -92,6 +92,37 @@ func (s *Service) Hypergraph(name string) (*hg.Hypergraph, error) {
 	return h, err
 }
 
+// Calibration snapshots the named dataset's observed Stage-3 cost
+// tables (both orientations): what the self-calibrating planner has
+// measured for this dataset version so far.
+func (s *Service) Calibration(name string) (CalibrationInfo, error) {
+	return s.reg.Calibration(name)
+}
+
+// resolveAt resolves cfg's planner-driven auto knobs (hg.RelabelAuto,
+// core.ToplexAuto) against a pinned dataset snapshot and attaches the
+// version's cached statistics and calibration table, so every cache key
+// derived afterwards names the concrete configuration the pipeline will
+// actually run — a planner-chosen configuration shares cache entries
+// with the pinned configuration it resolves to. When the snapshot is no
+// longer the registry's current version (a concurrent replacement), the
+// stats are recomputed from the snapshot and calibration is skipped:
+// the new version's table says nothing about this hypergraph.
+// Idempotent — both Query and projectBatchAt call it, whichever comes
+// first does the work.
+func (s *Service) resolveAt(h *hg.Hypergraph, version uint64, name string, dual bool, sValues []int, cfg core.PipelineConfig) core.PipelineConfig {
+	if d, ok := s.reg.at(name, version); ok {
+		st := d.statsFor(dual)
+		cfg.Stats = &st
+		cfg.Costs = d.costsFor(dual)
+	}
+	work := h
+	if dual {
+		work = h.Dual()
+	}
+	return core.ResolveConfig(work, sValues, cfg)
+}
+
 // CacheStats snapshots the result cache counters.
 func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
 
@@ -181,6 +212,9 @@ func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version 
 			return nil, nil, fmt.Errorf("serve: s must be >= 1, got %d", sVal)
 		}
 	}
+	// Resolve auto knobs before any key is derived: the cache must be
+	// probed under the concrete configuration the pipeline runs.
+	cfg = s.resolveAt(h, version, name, dual, sValues, cfg)
 	if dual {
 		h = h.Dual()
 	}

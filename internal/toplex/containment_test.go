@@ -1,0 +1,63 @@
+package toplex
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperline/internal/hg"
+)
+
+// randomHypergraph builds a small random hypergraph whose every edge
+// the containment probe will sample exactly (m <= the probe's sample
+// budget) with candidate scans well under its cap.
+func randomHypergraph(r *rand.Rand, n, m, maxSize int) *hg.Hypergraph {
+	edges := make([][]uint32, m)
+	for e := range edges {
+		size := 1 + r.Intn(maxSize)
+		seen := map[uint32]bool{}
+		for len(seen) < size {
+			seen[uint32(r.Intn(n))] = true
+		}
+		for v := range seen {
+			edges[e] = append(edges[e], v)
+		}
+	}
+	return hg.FromEdgeSlices(edges, n)
+}
+
+// TestSampleContainmentExactOnSmallInputs: when every hyperedge is
+// sampled (m small enough for stride 1) and no candidate scan hits the
+// probe's cap, hg.SampleContainment must equal the exact ContainedRatio
+// — the probe and Stage 2 share one containment rule, including the
+// lowest-ID-wins duplicate convention.
+func TestSampleContainmentExactOnSmallInputs(t *testing.T) {
+	cases := []*hg.Hypergraph{
+		paperExample(),
+		hg.FromEdgeSlices([][]uint32{{1, 2, 3}, {1, 2, 3}, {4, 5}}, 6),       // duplicates
+		hg.FromEdgeSlices([][]uint32{{0, 1}, {2, 3}, {4, 5}}, 6),             // all toplexes
+		hg.FromEdgeSlices([][]uint32{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}, 4), // a chain
+	}
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		cases = append(cases, randomHypergraph(r, 12, 30, 5))
+	}
+	for i, h := range cases {
+		want := ContainedRatio(h)
+		got := hg.SampleContainment(h)
+		if got != want {
+			t.Fatalf("case %d: SampleContainment = %v, ContainedRatio = %v", i, got, want)
+		}
+	}
+}
+
+// TestSampleContainmentEmpty: degenerate inputs must not divide by
+// zero.
+func TestSampleContainmentEmpty(t *testing.T) {
+	h := hg.FromEdgeSlices(nil, 0)
+	if got := hg.SampleContainment(h); got != 0 {
+		t.Fatalf("empty hypergraph: SampleContainment = %v, want 0", got)
+	}
+	if got := ContainedRatio(h); got != 0 {
+		t.Fatalf("empty hypergraph: ContainedRatio = %v, want 0", got)
+	}
+}

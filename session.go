@@ -3,6 +3,7 @@ package hyperline
 import (
 	"context"
 
+	"hyperline/internal/core"
 	"hyperline/internal/measure"
 	"hyperline/internal/serve"
 )
@@ -30,6 +31,14 @@ type MeasureValue = measure.Value
 // MeasureResult is one served measure evaluation: the value, the
 // projection shape it was computed on, and cache provenance.
 type MeasureResult = serve.MeasureResult
+
+// CalibrationInfo is the self-calibrating planner's observed Stage-3
+// cost state for one dataset version: every (strategy, relabel, toplex,
+// batch-shape) cell the session has measured, per orientation.
+type CalibrationInfo = serve.CalibrationInfo
+
+// CostObservation is one exported cell of a calibration table.
+type CostObservation = core.CostObservation
 
 // Measures lists every registered Stage-5 measure, sorted by name.
 func Measures() []MeasureInfo { return measure.Infos() }
@@ -160,6 +169,17 @@ func (s *Session) SMeasureSweep(name string, sValues []int, measureName string, 
 // Deprecated: use Session.Execute with a measure Query{Kind: KindClique}.
 func (s *Session) SCliqueMeasureSweep(name string, sValues []int, measureName string, params map[string]string, opt Options) ([]*MeasureResult, error) {
 	return s.svc.MeasureSweep(context.Background(), name, true, sValues, opt.pipeline(), measureName, params)
+}
+
+// Calibration snapshots what the self-calibrating planner has measured
+// for the named dataset's current version: observed Stage-3 cost per
+// (strategy, relabel, toplex, batch shape) cell, per orientation. Fresh
+// and freshly replaced datasets report empty tables — calibration never
+// survives a version bump. Once a cell reaches core.CalibrationMin
+// observations, auto-planned queries (Options.Algorithm = AlgoAuto,
+// Relabel = RelabelAuto) consult it in place of the static heuristics.
+func (s *Session) Calibration(name string) (CalibrationInfo, error) {
+	return s.svc.Calibration(name)
 }
 
 // CacheStats snapshots the session's result-cache counters.
