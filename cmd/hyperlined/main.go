@@ -9,11 +9,22 @@
 //	hyperlined [-addr :8080] [-cache 128] [-measure-cache 1024]
 //	           [-load name=path ...] [-warmup 1:4]
 //	           [-request-timeout 30s] [-drain-timeout 10s]
+//	           [-max-inflight 8] [-shed-cost-budget 4000] [-max-queue 64]
 //
 // Each -load registers a dataset at startup (format by extension:
 // ".pairs", ".bin", or adjacency lines); -warmup precomputes the given
 // s-sweep (a value, comma list, or lo:hi range, e.g. "1,4:8") for every
 // loaded dataset as one batched planner-driven pass.
+//
+// -max-inflight and -shed-cost-budget turn on admission control: they
+// bound concurrent Stage-3 work by request count and by summed
+// planner-estimated cost (~ms units — see /v1/datasets/{name}/costs).
+// When saturated, interactive requests wait in a bounded FIFO queue
+// (-max-queue) and overflow is shed with 429 + Retry-After; background
+// work (warmup sweeps, "priority":"background" v2 queries) never
+// queues. GET /metrics exposes the Prometheus text exposition: cache
+// hit rates, compute counters, singleflight dedups, admission
+// occupancy, per-stage latency histograms, and response codes.
 //
 // -request-timeout bounds every request via its context: past it the
 // pipeline aborts cooperatively and the client receives 504 (a
@@ -97,11 +108,20 @@ func main() {
 	warmup := flag.String("warmup", "", "comma-separated s values to precompute for every loaded dataset")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request timeout applied via the request context (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted Stage-3 passes; excess interactive requests queue then shed with 429 (0 = unlimited)")
+	shedCostBudget := flag.Int64("shed-cost-budget", 0, "max summed planner-estimated cost of admitted Stage-3 work, in ~ms units (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max interactive requests waiting for admission before 429 (0 = default 64)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to register at startup, as name=path (repeatable)")
 	flag.Parse()
 
-	svc := serve.New(serve.Config{CacheEntries: *cache, MeasureCacheEntries: *mcache})
+	svc := serve.New(serve.Config{
+		CacheEntries:        *cache,
+		MeasureCacheEntries: *mcache,
+		MaxInflight:         *maxInflight,
+		ShedCostBudget:      *shedCostBudget,
+		MaxQueue:            *maxQueue,
+	})
 	for _, l := range loads {
 		if err := svc.Load(l.name, l.path); err != nil {
 			log.Fatalf("hyperlined: loading %s: %v", l.name, err)

@@ -137,15 +137,24 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v2/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQueryV2(svc, w, r)
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(svc, w, r)
+	})
+	// The response-code counter wraps every endpoint except /metrics
+	// itself, so hyperline_http_responses_total reconciles exactly with
+	// the traffic clients sent.
+	return svc.metrics.instrument(mux)
 }
 
-// errStatus maps a service error to an HTTP status: cancelled or
-// deadline-exceeded requests are 504 (the request context expired
-// before the pipeline finished), unknown datasets are 404, everything
-// else is a client error.
+// errStatus maps a service error to an HTTP status: requests shed by
+// admission control are 429 (writeError adds the Retry-After header),
+// cancelled or deadline-exceeded requests are 504 (the request context
+// expired before the pipeline finished), unknown datasets are 404,
+// everything else is a client error.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrUnknownDataset):
@@ -161,6 +170,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	var sat *SaturatedError
+	if errors.As(err, &sat) {
+		// Retry-After is whole seconds, rounded up so clients never
+		// retry before the estimated drain.
+		secs := int64((sat.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 

@@ -29,6 +29,10 @@ type queryRequestJSON struct {
 	Exact     bool              `json:"exact,omitempty"`
 	Edges     bool              `json:"edges,omitempty"`
 	TimeoutMS int               `json:"timeout_ms,omitempty"`
+	// Priority is "interactive" (default) or "background": background
+	// queries are shed instead of queued when admission control is
+	// saturated, so bulk cache-seeding traffic yields to users.
+	Priority string `json:"priority,omitempty"`
 }
 
 // toplexJSON accepts the two JSON spellings of the toplex knob: a
@@ -128,6 +132,16 @@ func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg.Core.Workers = clampWorkers(req.Workers)
+	var pri Priority
+	switch req.Priority {
+	case "", "interactive":
+		pri = PriorityInteractive
+	case "background":
+		pri = PriorityBackground
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown priority %q (want \"interactive\" or \"background\")", req.Priority))
+		return
+	}
 
 	ctx := r.Context()
 	if req.TimeoutMS > 0 {
@@ -138,12 +152,13 @@ func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	qr, err := svc.Query(ctx, QueryRequest{
-		Dataset: req.Dataset,
-		Dual:    dual,
-		S:       sweep,
-		Cfg:     cfg,
-		Measure: req.Measure,
-		Params:  req.Params,
+		Dataset:  req.Dataset,
+		Dual:     dual,
+		S:        sweep,
+		Cfg:      cfg,
+		Measure:  req.Measure,
+		Params:   req.Params,
+		Priority: pri,
 	})
 	if err != nil {
 		writeError(w, errStatus(err), err)
@@ -193,7 +208,25 @@ func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = out
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Per-s errors keep 200 while at least one entry answered, but a
+	// sweep where *every* entry failed is a failed request: 502 lets
+	// load balancers and load generators tell it from success without
+	// parsing entries. (Per-s errors are upstream evaluation failures,
+	// not client mistakes, hence the 502 class.)
+	status := http.StatusOK
+	if len(resp.Results) > 0 {
+		allFailed := true
+		for _, e := range resp.Results {
+			if e.Error == "" {
+				allFailed = false
+				break
+			}
+		}
+		if allFailed {
+			status = http.StatusBadGateway
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // kindString renders the orientation the way the v2 API spells it.

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// v2Status posts one /v2/query body and returns the decoded entries,
+// asserting the status code. Regression coverage for the all-entries-
+// failed case: a sweep where every per-s evaluation failed must answer
+// 502 (upstream evaluation failure), while partial success keeps 200
+// and client mistakes keep their 4xx — callers must not have to parse
+// entries to tell a dead sweep from a live one.
+func v2Status(t *testing.T, url, body string, wantStatus int) []struct {
+	S     int    `json:"s"`
+	Error string `json:"error"`
+} {
+	t.Helper()
+	var resp struct {
+		Results []struct {
+			S     int    `json:"s"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	do(t, http.MethodPost, url+"/v2/query", strings.NewReader(body), wantStatus, &resp)
+	return resp.Results
+}
+
+func TestV2QueryAllEntriesFailedIs502(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// Hyperedge 3 is {4,5}: with |e| = 2 it can have no s-incident pair
+	// at s >= 3, so "distances" from source 3 fails at every requested s.
+	results := v2Status(t, ts.URL,
+		`{"dataset":"paper","s":"3:4","measure":"distances","params":{"source":"3"}}`,
+		http.StatusBadGateway)
+	if len(results) != 2 {
+		t.Fatalf("want 2 entries, got %+v", results)
+	}
+	for _, e := range results {
+		if e.Error == "" {
+			t.Fatalf("entry s=%d unexpectedly succeeded in an all-failed regression case", e.S)
+		}
+	}
+}
+
+func TestV2QueryPartialFailureStays200(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// s=1 succeeds (edge 3 overlaps edge 2 in vertex 4), s=3 fails.
+	results := v2Status(t, ts.URL,
+		`{"dataset":"paper","s":[1,3],"measure":"distances","params":{"source":"3"}}`,
+		http.StatusOK)
+	var ok, failed int
+	for _, e := range results {
+		if e.Error == "" {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	if ok == 0 || failed == 0 {
+		t.Fatalf("want a mixed outcome, got %+v", results)
+	}
+}
+
+func TestV2QueryRequestErrorsKeep4xx(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// Client mistakes must not be reclassified by the all-failed rule.
+	do(t, http.MethodPost, ts.URL+"/v2/query",
+		strings.NewReader(`{"dataset":"paper","s":"1:2","measure":"nope"}`),
+		http.StatusBadRequest, nil)
+	do(t, http.MethodPost, ts.URL+"/v2/query",
+		strings.NewReader(`{"dataset":"missing","s":"1:2"}`),
+		http.StatusNotFound, nil)
+}

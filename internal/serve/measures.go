@@ -134,6 +134,9 @@ func (s *Service) measureOne(ctx context.Context, mk string, m measure.Measure, 
 	if err != nil {
 		return nil, err
 	}
+	if shared {
+		s.msfDedups.Add(1)
+	}
 	f := v.(measureFlight)
 	return &MeasureResult{
 		S:                res.S,

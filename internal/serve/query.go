@@ -35,6 +35,11 @@ type QueryRequest struct {
 	// every s would still evaluate all of them just to report per-s
 	// errors nobody reads.
 	FailFast bool
+	// Priority classifies the query's Stage-3 work for admission
+	// control. The zero value is PriorityInteractive (may wait in the
+	// bounded admission queue); PriorityBackground marks deferrable
+	// work that is shed instead of queued under saturation.
+	Priority Priority
 }
 
 // QueryEntry is one per-s outcome of a Query.
@@ -124,7 +129,7 @@ func (s *Service) Query(ctx context.Context, q QueryRequest) (*QueryResult, erro
 	}
 
 	if m == nil {
-		results, cached, err := s.projectBatchAt(ctx, h, version, q.Dataset, q.Dual, distinct, q.Cfg)
+		results, cached, err := s.projectBatchAt(ctx, h, version, q.Dataset, q.Dual, distinct, q.Cfg, q.Priority)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +155,7 @@ func (s *Service) Query(ctx context.Context, q QueryRequest) (*QueryResult, erro
 		}
 	}
 	if len(missing) > 0 {
-		projs, projCached, err := s.projectBatchAt(ctx, h, version, q.Dataset, q.Dual, missing, q.Cfg)
+		projs, projCached, err := s.projectBatchAt(ctx, h, version, q.Dataset, q.Dual, missing, q.Cfg, q.Priority)
 		if err != nil {
 			return nil, err
 		}

@@ -36,6 +36,21 @@ type Config struct {
 	// MeasureCacheEntries is the LRU capacity in cached measure
 	// values (0 = DefaultMeasureCacheEntries).
 	MeasureCacheEntries int
+
+	// MaxInflight bounds concurrently admitted Stage-3 passes
+	// (0 = unlimited). Cache hits and measure evaluations are never
+	// gated — admission protects the expensive pipeline work only.
+	MaxInflight int
+	// ShedCostBudget bounds the summed planner-estimated cost of
+	// admitted Stage-3 work, in cost units of roughly one millisecond
+	// of s-overlap time each (0 = unlimited). When both limits are
+	// exceeded-or-unset the service behaves exactly as before this
+	// knob existed.
+	ShedCostBudget int64
+	// MaxQueue bounds how many interactive requests may wait for
+	// admission before further ones are shed (0 = a small default).
+	// Background work (warmup) never queues.
+	MaxQueue int
 }
 
 // Service ties the dataset registry, the result cache, the Stage-5
@@ -51,16 +66,32 @@ type Service struct {
 	// that ran Compute) — the instrumentation the cache tests assert
 	// against, surfaced in MeasureCacheStats.
 	measureComputes atomic.Int64
+	// projectionComputes counts per-s projections that actually ran
+	// Stages 1-4 (cache hits and singleflight joins excluded).
+	projectionComputes atomic.Int64
+	// sfDedups / msfDedups count requests served by joining another
+	// caller's in-flight computation (projection / measure flights).
+	sfDedups  atomic.Int64
+	msfDedups atomic.Int64
+
+	adm     *admission
+	metrics *metrics
 }
 
 // New returns an empty service.
 func New(cfg Config) *Service {
 	return &Service{
-		reg:    NewRegistry(),
-		cache:  NewCache(cfg.CacheEntries),
-		mcache: NewMeasureCache(cfg.MeasureCacheEntries),
+		reg:     NewRegistry(),
+		cache:   NewCache(cfg.CacheEntries),
+		mcache:  NewMeasureCache(cfg.MeasureCacheEntries),
+		adm:     newAdmission(cfg.ShedCostBudget, cfg.MaxInflight, cfg.MaxQueue),
+		metrics: newMetrics(),
 	}
 }
+
+// AdmissionStats snapshots the admission controller: configured limits,
+// live occupancy, and lifetime admitted/shed/queued counters.
+func (s *Service) AdmissionStats() AdmissionStats { return s.adm.Stats() }
 
 // Add registers h under name, replacing any previous dataset with that
 // name (previously cached results for the old version become
@@ -159,7 +190,7 @@ func (s *Service) SCliqueGraph(ctx context.Context, name string, sVal int, cfg c
 // project serves a single-s request as a batch of one, sharing the
 // batch path's cache probes, singleflight, and cancellation semantics.
 func (s *Service) project(ctx context.Context, name string, dual bool, sVal int, cfg core.PipelineConfig) (*core.PipelineResult, bool, error) {
-	results, cached, err := s.projectBatch(ctx, name, dual, []int{sVal}, cfg)
+	results, cached, err := s.projectBatch(ctx, name, dual, []int{sVal}, cfg, PriorityInteractive)
 	if err != nil {
 		return nil, false, err
 	}
@@ -180,22 +211,22 @@ type batchFlight struct {
 // skipped for that s (a cache hit, or a concurrent identical batch's
 // result was shared via singleflight).
 func (s *Service) SLineGraphs(ctx context.Context, name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
-	return s.projectBatch(ctx, name, false, sValues, cfg)
+	return s.projectBatch(ctx, name, false, sValues, cfg, PriorityInteractive)
 }
 
 // SCliqueGraphs returns the s-clique graphs (s-line graphs of the dual
 // hypergraph) of the named dataset for every distinct s in sValues,
 // batched and cached like SLineGraphs.
 func (s *Service) SCliqueGraphs(ctx context.Context, name string, sValues []int, cfg core.PipelineConfig) (results map[int]*core.PipelineResult, cached map[int]bool, err error) {
-	return s.projectBatch(ctx, name, true, sValues, cfg)
+	return s.projectBatch(ctx, name, true, sValues, cfg, PriorityInteractive)
 }
 
-func (s *Service) projectBatch(ctx context.Context, name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
+func (s *Service) projectBatch(ctx context.Context, name string, dual bool, sValues []int, cfg core.PipelineConfig, pri Priority) (map[int]*core.PipelineResult, map[int]bool, error) {
 	h, version, err := s.reg.Get(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.projectBatchAt(ctx, h, version, name, dual, sValues, cfg)
+	return s.projectBatchAt(ctx, h, version, name, dual, sValues, cfg, pri)
 }
 
 // projectBatchAt is projectBatch against an explicitly pinned dataset
@@ -203,7 +234,7 @@ func (s *Service) projectBatch(ctx context.Context, name string, dual bool, sVal
 // that version, so callers that already resolved the registry (the
 // measure engine, which must not mix versions within one sweep) stay
 // consistent even if the dataset is concurrently replaced.
-func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version uint64, name string, dual bool, sValues []int, cfg core.PipelineConfig) (map[int]*core.PipelineResult, map[int]bool, error) {
+func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version uint64, name string, dual bool, sValues []int, cfg core.PipelineConfig, pri Priority) (map[int]*core.PipelineResult, map[int]bool, error) {
 	if len(sValues) == 0 {
 		return nil, nil, fmt.Errorf("serve: at least one s value is required")
 	}
@@ -258,9 +289,27 @@ func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version 
 			}
 		}
 		if len(compute) > 0 {
-			computed, err := core.RunBatch(fctx, h, compute, cfg)
+			// Admission gates the expensive part only: the flight holds
+			// a semaphore slot weighted by the planner-estimated cost of
+			// this pass for exactly as long as Stages 1-4 run. Saturation
+			// sheds (or, for interactive work, queues) here — after the
+			// cache re-probe, so hits are never shed. The flight admits
+			// under the priority of the caller that started it; joiners
+			// share its fate.
+			release, aerr := s.adm.Acquire(fctx, pri, estimateCost(cfg, compute))
+			if aerr != nil {
+				return nil, aerr
+			}
+			computed, err := func() (map[int]*core.PipelineResult, error) {
+				defer release()
+				return core.RunBatch(fctx, h, compute, cfg)
+			}()
 			if err != nil {
 				return nil, err
+			}
+			s.projectionComputes.Add(int64(len(computed)))
+			if res := computed[compute[0]]; res != nil {
+				s.metrics.observeStages(res.Timings)
 			}
 			for sVal, res := range computed {
 				s.cache.Put(key(name, version, dual, sVal, cfg), res)
@@ -271,6 +320,9 @@ func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version 
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if shared {
+		s.sfDedups.Add(1)
 	}
 	bf := v.(batchFlight)
 	for sVal, res := range bf.results {
@@ -287,8 +339,12 @@ func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version 
 // per-s passes otherwise — pinned configurations keep their strategy).
 // It returns the number of results computed and the number of distinct
 // requested s values that were already cached.
+//
+// Warmup work is admitted at background priority: when the server is
+// saturated it is shed immediately (ErrSaturated) rather than queued,
+// so cache seeding can never starve interactive queries.
 func (s *Service) Warmup(ctx context.Context, name string, dual bool, sValues []int, cfg core.PipelineConfig) (computed, alreadyHot int, err error) {
-	_, cached, err := s.projectBatch(ctx, name, dual, sValues, cfg)
+	_, cached, err := s.projectBatch(ctx, name, dual, sValues, cfg, PriorityBackground)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -33,8 +33,8 @@ func randomHypergraph(r *rand.Rand, n, m, maxSize int) *hg.Hypergraph {
 func TestSampleContainmentExactOnSmallInputs(t *testing.T) {
 	cases := []*hg.Hypergraph{
 		paperExample(),
-		hg.FromEdgeSlices([][]uint32{{1, 2, 3}, {1, 2, 3}, {4, 5}}, 6),       // duplicates
-		hg.FromEdgeSlices([][]uint32{{0, 1}, {2, 3}, {4, 5}}, 6),             // all toplexes
+		hg.FromEdgeSlices([][]uint32{{1, 2, 3}, {1, 2, 3}, {4, 5}}, 6),         // duplicates
+		hg.FromEdgeSlices([][]uint32{{0, 1}, {2, 3}, {4, 5}}, 6),               // all toplexes
 		hg.FromEdgeSlices([][]uint32{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}, 4), // a chain
 	}
 	r := rand.New(rand.NewSource(17))

@@ -62,6 +62,13 @@ type Query struct {
 	// context.DeadlineExceeded. It combines with any deadline already
 	// on the ctx passed to Execute — whichever expires first wins.
 	Deadline time.Time
+	// Priority classifies the query's Stage-3 work for a Session
+	// configured with admission limits (SessionOptions.MaxInflight /
+	// ShedCostBudget): interactive work (the zero value) may wait in
+	// the bounded admission queue, background work is shed immediately
+	// under saturation (ErrSaturated). Ignored by the sessionless
+	// Execute, which has no admission controller.
+	Priority Priority
 }
 
 // kind normalizes and validates the projection family.
@@ -233,12 +240,13 @@ func (s *Session) Execute(ctx context.Context, q Query) (*QueryResult, error) {
 	ctx, cancel := q.deadlineContext(ctx)
 	defer cancel()
 	qr, err := s.svc.Query(ctx, serve.QueryRequest{
-		Dataset: q.Dataset,
-		Dual:    dual,
-		S:       q.S,
-		Cfg:     q.Options.pipeline(),
-		Measure: q.Measure,
-		Params:  q.Params,
+		Dataset:  q.Dataset,
+		Dual:     dual,
+		S:        q.S,
+		Cfg:      q.Options.pipeline(),
+		Measure:  q.Measure,
+		Params:   q.Params,
+		Priority: q.Priority,
 	})
 	if err != nil {
 		return nil, err

@@ -210,31 +210,43 @@ func TestExecuteCancelFig8Scale(t *testing.T) {
 	if raceEnabled {
 		bound = time.Second
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	type outcome struct {
 		err error
 		at  time.Time
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		_, err := hyperline.Execute(ctx, q)
-		done <- outcome{err: err, at: time.Now()}
-	}()
-	select {
-	case o := <-done:
-		t.Skipf("sweep finished before the cancel landed (err=%v)", o.err)
-	case <-time.After(100 * time.Millisecond):
+	// One measurement of cancel-to-return latency. The bound is
+	// wall-clock, so on a loaded box (the full suite runs every package
+	// in parallel on one core) a single attempt can blow it on
+	// scheduler starvation alone; the caller retries once, and only two
+	// consecutive misses fail — a real latency regression misses both.
+	attempt := func() (time.Duration, bool) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done := make(chan outcome, 1)
+		go func() {
+			_, err := hyperline.Execute(ctx, q)
+			done <- outcome{err: err, at: time.Now()}
+		}()
+		select {
+		case o := <-done:
+			t.Skipf("sweep finished before the cancel landed (err=%v)", o.err)
+		case <-time.After(100 * time.Millisecond):
+		}
+		cancelledAt := time.Now()
+		cancel()
+		o := <-done
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("cancelled Execute returned %v, want context.Canceled", o.err)
+		}
+		latency := o.at.Sub(cancelledAt)
+		return latency, latency <= bound
 	}
-	cancelledAt := time.Now()
-	cancel()
-	o := <-done
-	latency := o.at.Sub(cancelledAt)
-	if !errors.Is(o.err, context.Canceled) {
-		t.Fatalf("cancelled Execute returned %v, want context.Canceled", o.err)
-	}
-	if latency > bound {
-		t.Fatalf("cancel latency %v exceeds %v", latency, bound)
+	latency, ok := attempt()
+	if !ok {
+		t.Logf("cancel latency %v exceeds %v, retrying once", latency, bound)
+		if latency, ok = attempt(); !ok {
+			t.Fatalf("cancel latency %v exceeds %v twice", latency, bound)
+		}
 	}
 	t.Logf("cancel latency: %v (baseline %v)", latency, baseline)
 	if baseline > 0 && latency*10 > baseline {

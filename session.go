@@ -2,6 +2,7 @@ package hyperline
 
 import (
 	"context"
+	"io"
 
 	"hyperline/internal/core"
 	"hyperline/internal/measure"
@@ -40,6 +41,28 @@ type CalibrationInfo = serve.CalibrationInfo
 // CostObservation is one exported cell of a calibration table.
 type CostObservation = core.CostObservation
 
+// Priority classifies a query's Stage-3 work for admission control in
+// a Session (or server) configured with admission limits.
+type Priority = serve.Priority
+
+const (
+	// PriorityInteractive marks user-facing queries: under saturation
+	// they wait in the bounded admission queue before being shed.
+	PriorityInteractive = serve.PriorityInteractive
+	// PriorityBackground marks deferrable work (warmup, bulk seeding):
+	// under saturation it is shed immediately, never queued.
+	PriorityBackground = serve.PriorityBackground
+)
+
+// ErrSaturated marks queries shed by admission control; test with
+// errors.Is. The concrete error is a *serve.SaturatedError carrying a
+// Retry-After estimate.
+var ErrSaturated = serve.ErrSaturated
+
+// AdmissionStats is a snapshot of a Session's admission controller:
+// configured limits, live occupancy, and admitted/shed counters.
+type AdmissionStats = serve.AdmissionStats
+
 // Measures lists every registered Stage-5 measure, sorted by name.
 func Measures() []MeasureInfo { return measure.Infos() }
 
@@ -50,6 +73,16 @@ type SessionOptions struct {
 	// MeasureCacheEntries is the LRU capacity in cached measure
 	// values (0 = 1024).
 	MeasureCacheEntries int
+	// MaxInflight bounds concurrently admitted Stage-3 passes
+	// (0 = unlimited); excess interactive queries wait in a bounded
+	// queue, then shed with ErrSaturated. Cache hits are never gated.
+	MaxInflight int
+	// ShedCostBudget bounds the summed planner-estimated cost of
+	// admitted Stage-3 work, in ~1ms cost units (0 = unlimited).
+	ShedCostBudget int64
+	// MaxQueue bounds the interactive admission wait queue
+	// (0 = a small default).
+	MaxQueue int
 }
 
 // Session is a long-lived facade over the pipeline with a shared result
@@ -71,6 +104,9 @@ func NewSession(opt SessionOptions) *Session {
 	return &Session{svc: serve.New(serve.Config{
 		CacheEntries:        opt.CacheEntries,
 		MeasureCacheEntries: opt.MeasureCacheEntries,
+		MaxInflight:         opt.MaxInflight,
+		ShedCostBudget:      opt.ShedCostBudget,
+		MaxQueue:            opt.MaxQueue,
 	})}
 }
 
@@ -187,3 +223,13 @@ func (s *Session) CacheStats() CacheStats { return s.svc.CacheStats() }
 
 // MeasureCacheStats snapshots the session's measure-cache counters.
 func (s *Session) MeasureCacheStats() MeasureCacheStats { return s.svc.MeasureCacheStats() }
+
+// AdmissionStats snapshots the session's admission controller:
+// configured limits, live occupancy, and admitted/shed/queued counters.
+func (s *Session) AdmissionStats() AdmissionStats { return s.svc.AdmissionStats() }
+
+// WriteMetrics renders the session's full Prometheus text exposition —
+// the same document hyperlined serves at GET /metrics: cache and
+// compute counters, singleflight dedups, admission state, and
+// per-stage latency histograms.
+func (s *Session) WriteMetrics(w io.Writer) error { return s.svc.WriteMetrics(w) }
