@@ -6,6 +6,16 @@
 //
 // Repeated runs of the same benchmark (-count > 1) are aggregated to
 // their minimum ns/op — the conventional steady-state estimate.
+//
+// With -baseline, the fresh report is also compared against a previous
+// report file: every shared benchmark prints its ns/op delta, and
+// benchmarks present on only one side are called out. A positive
+// -threshold (percent) turns the comparison into a gate — any shared
+// benchmark slower than baseline by more than the threshold makes the
+// command exit nonzero (CI runs it warn-only by leaving -threshold 0):
+//
+//	go test -run '^$' -bench . -benchtime 3x . | \
+//	    go run ./cmd/benchjson -baseline BENCH_6.json -threshold 25
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -43,9 +54,85 @@ type report struct {
 	Benchmarks []*result `json:"benchmarks"`
 }
 
+// delta is one baseline comparison row.
+type delta struct {
+	name     string
+	baseNs   float64
+	newNs    float64
+	pct      float64 // (new-base)/base * 100, valid when both sides exist
+	regress  bool    // pct exceeds the gate threshold
+	oneSided bool    // present on only one side
+	newOnly  bool    // oneSided: true = no baseline entry, false = not in fresh run
+}
+
+// compare joins a fresh report against a baseline by benchmark name.
+// thresholdPct <= 0 disables the regression flag (report-only mode).
+func compare(baseline, fresh *report, thresholdPct float64) (rows []delta, regressed bool) {
+	base := map[string]*result{}
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, r := range fresh.Benchmarks {
+		seen[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			rows = append(rows, delta{name: r.Name, newNs: r.NsPerOp, oneSided: true, newOnly: true})
+			continue
+		}
+		if b.NsPerOp == 0 {
+			// A zero-valued baseline (synthetic rows can be): no ratio to
+			// take, so report both sides without a percentage.
+			rows = append(rows, delta{name: r.Name, baseNs: 0, newNs: r.NsPerOp, oneSided: true})
+			continue
+		}
+		d := delta{
+			name:   r.Name,
+			baseNs: b.NsPerOp,
+			newNs:  r.NsPerOp,
+			pct:    (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100,
+		}
+		if thresholdPct > 0 && d.pct > thresholdPct {
+			d.regress = true
+			regressed = true
+		}
+		rows = append(rows, d)
+	}
+	for _, r := range baseline.Benchmarks {
+		if !seen[r.Name] {
+			rows = append(rows, delta{name: r.Name, baseNs: r.NsPerOp, oneSided: true})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows, regressed
+}
+
+// printDeltas renders the comparison table to w.
+func printDeltas(w io.Writer, baselinePath string, rows []delta) {
+	fmt.Fprintf(w, "\nvs %s:\n", baselinePath)
+	for _, d := range rows {
+		switch {
+		case d.oneSided && d.newOnly:
+			fmt.Fprintf(w, "  %-50s %14.0f ns/op  (new, no baseline)\n", d.name, d.newNs)
+		case d.oneSided && d.newNs != 0:
+			fmt.Fprintf(w, "  %-50s %14.0f -> %14.0f ns/op  (baseline 0, no ratio)\n", d.name, d.baseNs, d.newNs)
+		case d.oneSided:
+			fmt.Fprintf(w, "  %-50s %14.0f ns/op  (baseline only, not run)\n", d.name, d.baseNs)
+		default:
+			mark := ""
+			if d.regress {
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(w, "  %-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", d.name, d.baseNs, d.newNs, d.pct, mark)
+		}
+	}
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the report")
+	baseline := flag.String("baseline", "", "previous report to diff against (prints per-benchmark ns/op deltas)")
+	threshold := flag.Float64("threshold", 0, "max tolerated ns/op regression vs -baseline, in percent; exceeded = exit 1 (0 = warn-only)")
 	flag.Parse()
 
 	rep := report{Label: *label, Date: time.Now().UTC().Format(time.RFC3339), Benchmarks: []*result{}}
@@ -112,10 +199,27 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		var prev report
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		rows, regressed := compare(&prev, &rep, *threshold)
+		printDeltas(os.Stdout, *baseline, rows)
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: regression past %.1f%% threshold vs %s\n", *threshold, *baseline)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(pairs ...any) *report {
+	r := &report{}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Benchmarks = append(r.Benchmarks, &result{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompareDeltasAndThreshold(t *testing.T) {
+	base := rep("BenchmarkA", 100.0, "BenchmarkB", 200.0, "BenchmarkGone", 50.0)
+	fresh := rep("BenchmarkA", 150.0, "BenchmarkB", 190.0, "BenchmarkNew", 10.0)
+
+	// Report-only mode flags nothing, whatever the deltas.
+	rows, regressed := compare(base, fresh, 0)
+	if regressed {
+		t.Fatal("threshold 0 must never gate")
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (two shared, one new, one gone)", len(rows))
+	}
+
+	// A 25%% gate: A is +50%% (regression), B is -5%% (fine).
+	rows, regressed = compare(base, fresh, 25)
+	if !regressed {
+		t.Fatal("a +50%% delta must trip a 25%% threshold")
+	}
+	byName := map[string]delta{}
+	for _, d := range rows {
+		byName[d.name] = d
+	}
+	if d := byName["BenchmarkA"]; !d.regress || d.pct != 50 {
+		t.Fatalf("BenchmarkA: %+v, want regress at +50%%", d)
+	}
+	if d := byName["BenchmarkB"]; d.regress || d.pct != -5 {
+		t.Fatalf("BenchmarkB: %+v, want -5%% and no regression", d)
+	}
+	if d := byName["BenchmarkNew"]; !d.oneSided || !d.newOnly {
+		t.Fatalf("BenchmarkNew: %+v, want one-sided new entry", d)
+	}
+	if d := byName["BenchmarkGone"]; !d.oneSided || d.newOnly || d.newNs != 0 {
+		t.Fatalf("BenchmarkGone: %+v, want one-sided baseline-only entry", d)
+	}
+
+	// A zero-valued baseline row (synthetic metrics) must not gate or
+	// divide by zero, and must not masquerade as a new benchmark.
+	zrows, zregressed := compare(rep("BenchmarkZero", 0.0), rep("BenchmarkZero", 5.0), 25)
+	if zregressed {
+		t.Fatal("zero baseline must not gate")
+	}
+	if d := zrows[0]; !d.oneSided || d.newOnly || d.newNs != 5 {
+		t.Fatalf("zero baseline row: %+v", d)
+	}
+
+	// Improvements never gate, even past the threshold magnitude.
+	if _, regressed := compare(fresh, base, 25); regressed {
+		t.Fatal("a faster run must not be flagged as a regression")
+	}
+
+	var sb strings.Builder
+	printDeltas(&sb, "BENCH.json", rows)
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "BenchmarkNew", "no baseline", "baseline only", "+50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}

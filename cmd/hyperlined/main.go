@@ -10,11 +10,26 @@
 //	           [-load name=path ...] [-warmup 1:4]
 //	           [-request-timeout 30s] [-drain-timeout 10s]
 //	           [-max-inflight 8] [-shed-cost-budget 4000] [-max-queue 64]
+//	           [-state-dir dir] [-spill-dir dir] [-spill-budget bytes]
 //
 // Each -load registers a dataset at startup (format by extension:
-// ".pairs", ".bin", or adjacency lines); -warmup precomputes the given
-// s-sweep (a value, comma list, or lo:hi range, e.g. "1,4:8") for every
-// loaded dataset as one batched planner-driven pass.
+// ".pairs", ".bin", or adjacency lines — ".bin" files are mmap'd, so
+// registration touches pages, not bytes, and datasets may exceed RAM);
+// -warmup precomputes the given s-sweep (a value, comma list, or lo:hi
+// range, e.g. "1,4:8") for every loaded dataset as one batched
+// planner-driven pass.
+//
+// -spill-dir attaches a disk tier under the LRU caches: evicted
+// projections and measure values serialize there (bounded to
+// -spill-budget bytes) and memory misses probe the directory before
+// recomputing. -state-dir makes restarts warm: a graceful shutdown
+// persists the dataset registry (names, versions, binary files) and
+// flushes the caches to the spill tier; the next boot with the same
+// -state-dir maps the datasets back under their original versions, so
+// cached keys — and the spilled entries behind them — remain valid.
+// When -state-dir is set, -spill-dir defaults to <state-dir>/spill.
+// Datasets restored from a snapshot take precedence over a -load of
+// the same name.
 //
 // -max-inflight and -shed-cost-budget turn on admission control: they
 // bound concurrent Stage-3 work by request count and by summed
@@ -67,6 +82,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -111,18 +127,55 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted Stage-3 passes; excess interactive requests queue then shed with 429 (0 = unlimited)")
 	shedCostBudget := flag.Int64("shed-cost-budget", 0, "max summed planner-estimated cost of admitted Stage-3 work, in ~ms units (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "max interactive requests waiting for admission before 429 (0 = default 64)")
+	maxPerDataset := flag.Int("max-inflight-per-dataset", 0, "max concurrently admitted Stage-3 passes per dataset; excess is shed immediately with 429 (0 = unlimited)")
+	stateDir := flag.String("state-dir", "", "directory for registry snapshots: restored on boot (warm start), written on graceful shutdown")
+	spillDir := flag.String("spill-dir", "", "directory for the disk cache tier under the LRUs (default <state-dir>/spill when -state-dir is set)")
+	spillBudget := flag.Int64("spill-budget", 0, "max bytes in the spill directory; least recently used entries are removed past it (0 = unbounded)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to register at startup, as name=path (repeatable)")
 	flag.Parse()
 
 	svc := serve.New(serve.Config{
-		CacheEntries:        *cache,
-		MeasureCacheEntries: *mcache,
-		MaxInflight:         *maxInflight,
-		ShedCostBudget:      *shedCostBudget,
-		MaxQueue:            *maxQueue,
+		CacheEntries:          *cache,
+		MeasureCacheEntries:   *mcache,
+		MaxInflight:           *maxInflight,
+		ShedCostBudget:        *shedCostBudget,
+		MaxQueue:              *maxQueue,
+		MaxInflightPerDataset: *maxPerDataset,
 	})
+
+	// Storage tier: the spill directory turns cache evictions into disk
+	// entries, and the state directory turns restarts into warm starts.
+	if *spillDir == "" && *stateDir != "" {
+		*spillDir = filepath.Join(*stateDir, "spill")
+	}
+	if *spillDir != "" {
+		if err := svc.EnableSpill(*spillDir, *spillBudget); err != nil {
+			log.Fatalf("hyperlined: %v", err)
+		}
+		log.Printf("spill tier at %s (budget %d bytes)", *spillDir, *spillBudget)
+	}
+	restored := map[string]bool{}
+	if *stateDir != "" {
+		names, err := svc.RestoreState(*stateDir)
+		if err != nil {
+			log.Fatalf("hyperlined: restoring state: %v", err)
+		}
+		for _, name := range names {
+			restored[name] = true
+			stats, _ := svc.Stats(name)
+			log.Printf("restored %v", stats)
+		}
+	}
+
 	for _, l := range loads {
+		if restored[l.name] {
+			// The snapshot already carries this dataset under its
+			// pre-restart version; re-loading would bump the version
+			// and orphan every warm cache entry.
+			log.Printf("skipping -load %s: restored from %s", l.name, *stateDir)
+			continue
+		}
 		if err := svc.Load(l.name, l.path); err != nil {
 			log.Fatalf("hyperlined: loading %s: %v", l.name, err)
 		}
@@ -181,6 +234,16 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+		if *stateDir != "" {
+			// All requests are drained: snapshot the registry and flush
+			// the caches so the next boot starts warm.
+			if err := svc.SaveState(*stateDir); err != nil {
+				log.Printf("hyperlined: saving state: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("hyperlined: state saved to %s", *stateDir)
+		}
+		svc.Close()
 		log.Printf("hyperlined: drained cleanly")
 	}
 }

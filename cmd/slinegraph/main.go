@@ -162,7 +162,9 @@ func main() {
 		}
 	}
 
-	h, err := hgio.LoadFile(*in)
+	// .bin inputs map rather than parse: startup cost is pages touched,
+	// and the dataset may exceed RAM. The process exit unmaps.
+	h, err := hgio.MapFile(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slinegraph: %v\n", err)
 		os.Exit(1)

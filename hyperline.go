@@ -76,6 +76,12 @@ func FromEdgeSlices(edges [][]uint32, numVertices int) *Hypergraph {
 // one hyperedge per line.
 func Load(path string) (*Hypergraph, error) { return hgio.LoadFile(path) }
 
+// Map loads a hypergraph like Load, but a ".bin" file is mmap'd and its
+// arrays aliased in place: loading costs O(pages touched) rather than
+// O(bytes), and the dataset may exceed RAM. Call Close on the result
+// when done (or let the GC unmap it); text formats fall back to Load.
+func Map(path string) (*Hypergraph, error) { return hgio.MapFile(path) }
+
 // Save writes a hypergraph to a file, choosing the format by extension
 // as in Load.
 func Save(path string, h *Hypergraph) error { return hgio.SaveFile(path, h) }

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The s-line graph is already stored as flat CSR arrays (see Build):
+//
+//	off  [numNodes+1]int64   row offsets into adj/wgt
+//	adj  [2*numEdges]uint32  sorted neighbor IDs per row
+//	wgt  [2*numEdges]uint32  parallel edge weights (overlap sizes)
+//	orig [numNodes]uint32    pre-squeeze node IDs (absent if unsqueezed)
+//
+// which makes a Graph mmap-shaped: hgio.WriteCSR persists exactly these
+// arrays and hgio.MapCSR aliases them back from a file without parsing.
+// This file holds the raw-array accessors and the ownership story those
+// serializers need.
+
+// CSR exposes the graph's raw arrays. The slices alias internal storage
+// and must not be modified. orig is nil when the graph was built
+// without ID squeezing.
+func (g *Graph) CSR() (off []int64, adj, wgt, orig []uint32) {
+	return g.off, g.adj, g.wgt, g.orig
+}
+
+// FromCSR constructs a graph directly from its flat arrays (which it
+// aliases, not copies — the caller transfers ownership). numEdges is
+// the undirected edge count, so len(adj) must be 2*numEdges. Only the
+// O(1) frame invariants are checked; content validation (sorted rows,
+// in-range IDs) is the producer's responsibility, as with hg.FromCSR.
+func FromCSR(numNodes, numEdges int, off []int64, adj, wgt, orig []uint32) (*Graph, error) {
+	if len(off) != numNodes+1 {
+		return nil, fmt.Errorf("graph: offsets length %d, want %d", len(off), numNodes+1)
+	}
+	if len(adj) != 2*numEdges || len(wgt) != len(adj) {
+		return nil, fmt.Errorf("graph: adjacency length %d / weights %d, want %d for %d undirected edges",
+			len(adj), len(wgt), 2*numEdges, numEdges)
+	}
+	if off[0] != 0 || off[numNodes] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: offsets endpoints [%d,%d], want [0,%d]", off[0], off[numNodes], len(adj))
+	}
+	if orig != nil && len(orig) != numNodes {
+		return nil, fmt.Errorf("graph: orig length %d, want %d", len(orig), numNodes)
+	}
+	return &Graph{numNodes: numNodes, numEdges: numEdges, off: off, adj: adj, wgt: wgt, orig: orig}, nil
+}
+
+// backing owns out-of-heap storage (an mmap) behind a Graph, released
+// exactly once via Close or a GC finalizer — the same lifecycle as
+// hg.Hypergraph's backing.
+type backing struct {
+	once    sync.Once
+	release func() error
+	err     error
+}
+
+func (b *backing) close() error {
+	b.once.Do(func() {
+		if b.release != nil {
+			b.err = b.release()
+		}
+	})
+	return b.err
+}
+
+// SetReleaser attaches the function that releases g's out-of-heap
+// storage and arranges a GC finalizer so dropping the last reference
+// releases it even without an explicit Close.
+func (g *Graph) SetReleaser(release func() error) {
+	g.back = &backing{release: release}
+	runtime.SetFinalizer(g.back, func(b *backing) { _ = b.close() })
+}
+
+// Close releases the graph's out-of-heap storage, if any; a no-op for
+// heap-backed graphs and idempotent otherwise.
+func (g *Graph) Close() error {
+	if g.back == nil {
+		return nil
+	}
+	return g.back.close()
+}
+
+// Mapped reports whether the graph's arrays alias out-of-heap storage.
+func (g *Graph) Mapped() bool { return g.back != nil }

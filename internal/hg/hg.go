@@ -10,10 +10,19 @@
 // sorted, which the set-intersection algorithm (Algorithm 1) relies on.
 package hg
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Hypergraph is an immutable hypergraph in CSR form. Construct one with
 // a Builder, FromEdgeSlices, or the hgio readers.
+//
+// The four CSR arrays may be heap-allocated or may alias out-of-heap
+// storage (an mmap'd file — see hgio.MapBinary). In the latter case the
+// hypergraph carries a backing handle shared by every view derived from
+// it (Dual), and Close releases the storage; see SetReleaser.
 type Hypergraph struct {
 	numVertices int
 	numEdges    int
@@ -24,6 +33,103 @@ type Hypergraph struct {
 	// vertex -> sorted edge IDs (rows of the incidence matrix H).
 	vOff []int64
 	vAdj []uint32
+
+	// back owns out-of-heap storage backing the CSR arrays; nil for
+	// heap-backed hypergraphs.
+	back *backing
+}
+
+// backing owns the out-of-heap storage (typically an mmap) behind a
+// Hypergraph. It is shared by pointer across every view of the same
+// storage, so the release runs exactly once no matter how many views
+// call Close — and a GC finalizer on the backing (set by the mapper)
+// fires only when no view references it anymore.
+type backing struct {
+	once    sync.Once
+	release func() error
+	err     error
+}
+
+// close releases the storage exactly once and remembers the outcome.
+func (b *backing) close() error {
+	b.once.Do(func() {
+		if b.release != nil {
+			b.err = b.release()
+		}
+	})
+	return b.err
+}
+
+// SetReleaser attaches the function that releases h's out-of-heap
+// storage. Mappers such as hgio.MapBinary call it once, right after
+// constructing the hypergraph; heap-backed hypergraphs never carry one.
+// Besides enabling Close, it arranges a GC finalizer on the shared
+// backing handle, so dropping the last reference to the hypergraph (and
+// every Dual view of it) eventually releases the storage even without
+// an explicit Close — the lifecycle a serving registry needs when it
+// replaces a dataset that concurrent readers may still hold.
+func (h *Hypergraph) SetReleaser(release func() error) {
+	h.back = &backing{release: release}
+	runtime.SetFinalizer(h.back, func(b *backing) { _ = b.close() })
+}
+
+// Close releases the hypergraph's out-of-heap storage (an mmap), if
+// any; it is a no-op for heap-backed hypergraphs and idempotent
+// otherwise. Views created by Dual share the backing: Close on any view
+// releases it for all, so call it only when no view is in use anymore.
+// Long-lived servers that replace datasets under concurrent readers
+// should instead drop all references and let the mapper's GC finalizer
+// release the storage once the last reader is gone.
+func (h *Hypergraph) Close() error {
+	if h.back == nil {
+		return nil
+	}
+	return h.back.close()
+}
+
+// Mapped reports whether the hypergraph's CSR arrays alias out-of-heap
+// storage (and therefore have a Close lifecycle).
+func (h *Hypergraph) Mapped() bool { return h.back != nil }
+
+// CSR exposes the raw CSR arrays of both orientations: eOff/eAdj are
+// the edge→vertices rows, vOff/vAdj the vertex→edges rows, with
+// eOff[len]=vOff[len]=Incidences(). The slices alias internal storage
+// and must not be modified; hgio serializers and the spill tier read
+// them to persist hypergraphs without re-walking the structure.
+func (h *Hypergraph) CSR() (eOff []int64, eAdj []uint32, vOff []int64, vAdj []uint32) {
+	return h.eOff, h.eAdj, h.vOff, h.vAdj
+}
+
+// FromCSR constructs a hypergraph directly from its four CSR arrays
+// (which it aliases, not copies — the caller transfers ownership).
+// Only the O(1) frame invariants are checked here: offset lengths and
+// endpoints, and matching incidence counts. Callers holding untrusted
+// data must validate content themselves (hgio.ReadBinary derives the
+// vertex orientation instead of trusting it; Validate checks
+// everything at O(nnz log) cost).
+func FromCSR(numEdges, numVertices int, eOff []int64, eAdj []uint32, vOff []int64, vAdj []uint32) (*Hypergraph, error) {
+	if len(eOff) != numEdges+1 || len(vOff) != numVertices+1 {
+		return nil, fmt.Errorf("hg: offset lengths (%d, %d) do not match sizes (%d edges, %d vertices)",
+			len(eOff), len(vOff), numEdges, numVertices)
+	}
+	if len(eAdj) != len(vAdj) {
+		return nil, fmt.Errorf("hg: orientation mismatch: %d edge-side vs %d vertex-side incidences",
+			len(eAdj), len(vAdj))
+	}
+	if eOff[0] != 0 || eOff[numEdges] != int64(len(eAdj)) {
+		return nil, fmt.Errorf("hg: edge offsets endpoints [%d,%d], want [0,%d]", eOff[0], eOff[numEdges], len(eAdj))
+	}
+	if vOff[0] != 0 || vOff[numVertices] != int64(len(vAdj)) {
+		return nil, fmt.Errorf("hg: vertex offsets endpoints [%d,%d], want [0,%d]", vOff[0], vOff[numVertices], len(vAdj))
+	}
+	return &Hypergraph{
+		numVertices: numVertices,
+		numEdges:    numEdges,
+		eOff:        eOff,
+		eAdj:        eAdj,
+		vOff:        vOff,
+		vAdj:        vAdj,
+	}, nil
 }
 
 // NumVertices returns n = |V|.
@@ -64,7 +170,8 @@ func (h *Hypergraph) VertexDegree(v uint32) int {
 
 // Dual returns the dual hypergraph H*: vertices of H* are the
 // hyperedges of H and vice versa (the transposed incidence matrix).
-// The view shares storage with h, so Dual is O(1) and (H*)* = H.
+// The view shares storage with h — including any out-of-heap backing,
+// which the view keeps alive — so Dual is O(1) and (H*)* = H.
 func (h *Hypergraph) Dual() *Hypergraph {
 	return &Hypergraph{
 		numVertices: h.numEdges,
@@ -73,6 +180,7 @@ func (h *Hypergraph) Dual() *Hypergraph {
 		eAdj:        h.vAdj,
 		vOff:        h.eOff,
 		vAdj:        h.eAdj,
+		back:        h.back,
 	}
 }
 

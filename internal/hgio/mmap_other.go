@@ -1,0 +1,25 @@
+//go:build !unix
+
+package hgio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap falls back to reading the
+// whole file into the heap. Map* loaders still work — they just lose
+// the out-of-core property (load is O(file) instead of O(pages
+// touched)). The release function is a no-op; the GC reclaims the
+// buffer.
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, fmt.Errorf("hgio: reading file: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package hgio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release
+// function unmaps; it must be called exactly once (the Map* callers
+// route it through a sync.Once-guarded backing). A zero size yields an
+// empty mapping with a no-op release.
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size > int64(maxInt) {
+		return nil, nil, fmt.Errorf("hgio: file too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hgio: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+const maxInt = int(^uint(0) >> 1)

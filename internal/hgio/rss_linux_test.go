@@ -1,0 +1,153 @@
+//go:build linux
+
+package hgio
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperline/internal/hg"
+)
+
+// The out-of-core claim, measured: mapping a .bin dataset must not make
+// the process resident-set grow by anything near the file size, while
+// the copying loader must pay for the whole thing. Each strategy runs
+// in a re-exec'd child so it gets a fresh address space and an
+// unpolluted VmHWM high-water mark.
+
+const (
+	rssModeEnv = "HGIO_RSS_MODE" // "map" or "load"
+	rssPathEnv = "HGIO_RSS_PATH"
+)
+
+// vmHWM reads the process peak resident set in KiB from /proc.
+func vmHWM(t *testing.T) int64 {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 10, 64)
+			if err != nil {
+				t.Fatalf("parsing VmHWM from %q: %v", line, err)
+			}
+			return kb
+		}
+	}
+	t.Fatal("no VmHWM in /proc/self/status")
+	return 0
+}
+
+// TestRSSChild is the re-exec target: it opens the dataset named by the
+// environment with the requested strategy, touches a sparse sample of
+// edges (so the mapping actually faults pages the way a query would),
+// and reports how much the peak RSS grew.
+func TestRSSChild(t *testing.T) {
+	mode := os.Getenv(rssModeEnv)
+	if mode == "" {
+		t.Skip("re-exec helper; driven by TestMapBinaryRSSBelowFileSize")
+	}
+	path := os.Getenv(rssPathEnv)
+	base := vmHWM(t)
+
+	var h interface {
+		NumEdges() int
+		EdgeVertices(uint32) []uint32
+		Close() error
+	}
+	var err error
+	switch mode {
+	case "map":
+		h, err = MapBinary(path)
+	case "load":
+		h, err = LoadBinary(path)
+	default:
+		t.Fatalf("bad mode %q", mode)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var touched uint64
+	for e := 0; e < h.NumEdges(); e += 512 {
+		for _, v := range h.EdgeVertices(uint32(e)) {
+			touched += uint64(v)
+		}
+	}
+	fmt.Printf("RSS_DELTA_KB=%d TOUCHED=%d\n", vmHWM(t)-base, touched)
+	h.Close()
+}
+
+func TestMapBinaryRSSBelowFileSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes and loads a multi-MB dataset")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.bin")
+	// ~500k edges x ~20 incidences each: a file in the tens of MB, big
+	// enough that runtime noise (a few MB) cannot blur the comparison.
+	// Runs of consecutive vertices keep generation cheap — RSS does not
+	// care about the topology.
+	const edges, vertices = 500_000, 200_000
+	slices := make([][]uint32, edges)
+	for e := range slices {
+		k := 10 + e%20
+		start := uint32(e % (vertices - k))
+		s := make([]uint32, k)
+		for i := range s {
+			s[i] = start + uint32(i)
+		}
+		slices[e] = s
+	}
+	if err := SaveBinary(path, hg.FromEdgeSlices(slices, vertices)); err != nil {
+		t.Fatal(err)
+	}
+	slices = nil
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileKB := info.Size() / 1024
+	if fileKB < 10_000 {
+		t.Fatalf("generated dataset only %d KB; too small for a meaningful RSS bound", fileKB)
+	}
+
+	deltaKB := func(mode string) int64 {
+		t.Helper()
+		cmd := exec.Command(os.Args[0], "-test.run=^TestRSSChild$", "-test.v")
+		cmd.Env = append(os.Environ(), rssModeEnv+"="+mode, rssPathEnv+"="+path)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s child: %v\n%s", mode, err, out)
+		}
+		m := regexp.MustCompile(`RSS_DELTA_KB=(\d+)`).FindSubmatch(out)
+		if m == nil {
+			t.Fatalf("%s child printed no RSS delta:\n%s", mode, out)
+		}
+		kb, _ := strconv.ParseInt(string(m[1]), 10, 64)
+		return kb
+	}
+	mapKB := deltaKB("map")
+	loadKB := deltaKB("load")
+	t.Logf("file %d KB, map ΔRSS %d KB, load ΔRSS %d KB", fileKB, mapKB, loadKB)
+
+	// The mapping strategy must keep peak RSS growth below the on-disk
+	// size (it only faults the offset arrays it validates plus the
+	// sampled pages); the copying strategy must pay at least the file.
+	if mapKB >= fileKB {
+		t.Fatalf("MapBinary grew RSS by %d KB >= file size %d KB: not out-of-core", mapKB, fileKB)
+	}
+	if loadKB < fileKB/2 {
+		t.Fatalf("LoadBinary grew RSS by only %d KB for a %d KB file: the control is broken", loadKB, fileKB)
+	}
+	if mapKB*2 >= loadKB {
+		t.Fatalf("MapBinary ΔRSS %d KB not clearly below LoadBinary ΔRSS %d KB", mapKB, loadKB)
+	}
+}

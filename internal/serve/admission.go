@@ -63,6 +63,9 @@ type AdmissionStats struct {
 	MaxInflight int `json:"max_inflight"`
 	// MaxQueue is the interactive wait-queue bound.
 	MaxQueue int `json:"max_queue"`
+	// MaxPerDataset bounds admitted Stage-3 passes per dataset;
+	// 0 = unlimited.
+	MaxPerDataset int `json:"max_per_dataset"`
 
 	InflightCost     int64 `json:"inflight_cost"`
 	InflightRequests int   `json:"inflight_requests"`
@@ -72,6 +75,10 @@ type AdmissionStats struct {
 	AdmittedBackground  int64 `json:"admitted_background"`
 	ShedInteractive     int64 `json:"shed_interactive"`
 	ShedBackground      int64 `json:"shed_background"`
+	// ShedPerDataset counts requests shed because their dataset hit
+	// its per-dataset quota (also included in the per-priority shed
+	// counters above).
+	ShedPerDataset int64 `json:"shed_per_dataset"`
 	// Queued counts every admission that had to wait before being
 	// granted or abandoned (not the live queue length).
 	Queued int64 `json:"queued"`
@@ -81,6 +88,7 @@ type AdmissionStats struct {
 
 // admissionWaiter is one queued interactive acquisition.
 type admissionWaiter struct {
+	dataset string
 	cost    int64
 	ready   chan struct{} // closed on grant, with granted set under mu
 	granted bool
@@ -96,17 +104,22 @@ type admissionWaiter struct {
 // unbounded queueing. A zero limit means unlimited on that axis (the
 // controller still counts admissions for observability).
 type admission struct {
-	mu       sync.Mutex
-	maxCost  int64
-	maxReqs  int
-	maxQueue int
+	mu            sync.Mutex
+	maxCost       int64
+	maxReqs       int
+	maxQueue      int
+	maxPerDataset int
 
 	inflightCost int64
 	inflightReqs int
-	queue        []*admissionWaiter
+	// perDataset counts admitted passes per dataset name; entries are
+	// removed at zero so the map stays proportional to active load.
+	perDataset map[string]int
+	queue      []*admissionWaiter
 
 	admitted       [2]int64
 	shed           [2]int64
+	shedDataset    int64
 	queued         int64
 	queueCancelled int64
 }
@@ -115,13 +128,19 @@ type admission struct {
 // but no queue depth was configured.
 const defaultMaxQueue = 64
 
-// newAdmission builds a controller; maxCost and maxReqs of 0 mean
-// unlimited, maxQueue of 0 takes the default.
-func newAdmission(maxCost int64, maxReqs, maxQueue int) *admission {
+// newAdmission builds a controller; maxCost, maxReqs, and maxPerDataset
+// of 0 mean unlimited, maxQueue of 0 takes the default.
+func newAdmission(maxCost int64, maxReqs, maxQueue, maxPerDataset int) *admission {
 	if maxQueue <= 0 {
 		maxQueue = defaultMaxQueue
 	}
-	return &admission{maxCost: maxCost, maxReqs: maxReqs, maxQueue: maxQueue}
+	return &admission{
+		maxCost:       maxCost,
+		maxReqs:       maxReqs,
+		maxQueue:      maxQueue,
+		maxPerDataset: maxPerDataset,
+		perDataset:    make(map[string]int),
+	}
 }
 
 // limited reports whether any admission limit is configured.
@@ -151,20 +170,35 @@ func (a *admission) fitsLocked(cost int64) bool {
 	return true
 }
 
-// Acquire admits one unit of Stage-3 work of the given estimated cost,
-// blocking (interactive only, bounded queue, FIFO) until capacity is
-// available or ctx expires. On success the returned release function
-// must be called exactly once when the work finishes. On saturation it
-// returns a *SaturatedError (errors.Is ErrSaturated).
-func (a *admission) Acquire(ctx context.Context, pri Priority, cost int64) (release func(), err error) {
+// datasetFitsLocked reports whether dataset has per-dataset quota left.
+func (a *admission) datasetFitsLocked(dataset string) bool {
+	return a.maxPerDataset <= 0 || a.perDataset[dataset] < a.maxPerDataset
+}
+
+// Acquire admits one unit of Stage-3 work of the given estimated cost
+// against the named dataset, blocking (interactive only, bounded queue,
+// FIFO) until capacity is available or ctx expires. On success the
+// returned release function must be called exactly once when the work
+// finishes. On saturation it returns a *SaturatedError (errors.Is
+// ErrSaturated). A dataset at its per-dataset quota sheds immediately —
+// even interactive work — so a storm against one dataset turns into
+// fast 429s without consuming queue slots other datasets could use.
+func (a *admission) Acquire(ctx context.Context, pri Priority, dataset string, cost int64) (release func(), err error) {
 	a.mu.Lock()
 	cost = a.clampCost(cost)
+	if !a.datasetFitsLocked(dataset) {
+		a.shed[pri]++
+		a.shedDataset++
+		retry := a.retryAfterLocked()
+		a.mu.Unlock()
+		return nil, &SaturatedError{RetryAfter: retry}
+	}
 	// FIFO fairness: nobody overtakes existing waiters, and background
 	// work is never admitted while interactive requests wait.
 	if len(a.queue) == 0 && a.fitsLocked(cost) {
-		a.admitLocked(pri, cost)
+		a.admitLocked(pri, dataset, cost)
 		a.mu.Unlock()
-		return a.releaseFunc(cost), nil
+		return a.releaseFunc(dataset, cost), nil
 	}
 	if pri == PriorityBackground || len(a.queue) >= a.maxQueue {
 		a.shed[pri]++
@@ -172,21 +206,21 @@ func (a *admission) Acquire(ctx context.Context, pri Priority, cost int64) (rele
 		a.mu.Unlock()
 		return nil, &SaturatedError{RetryAfter: retry}
 	}
-	w := &admissionWaiter{cost: cost, ready: make(chan struct{})}
+	w := &admissionWaiter{dataset: dataset, cost: cost, ready: make(chan struct{})}
 	a.queue = append(a.queue, w)
 	a.queued++
 	a.mu.Unlock()
 
 	select {
 	case <-w.ready:
-		return a.releaseFunc(cost), nil
+		return a.releaseFunc(dataset, cost), nil
 	case <-ctx.Done():
 		a.mu.Lock()
 		if w.granted {
 			// Granted concurrently with cancellation: the caller owns
 			// the slot; downstream work will observe ctx and abort.
 			a.mu.Unlock()
-			return a.releaseFunc(cost), nil
+			return a.releaseFunc(dataset, cost), nil
 		}
 		for i, q := range a.queue {
 			if q == w {
@@ -204,31 +238,46 @@ func (a *admission) Acquire(ctx context.Context, pri Priority, cost int64) (rele
 }
 
 // admitLocked records one admission.
-func (a *admission) admitLocked(pri Priority, cost int64) {
+func (a *admission) admitLocked(pri Priority, dataset string, cost int64) {
 	a.inflightCost += cost
 	a.inflightReqs++
+	a.perDataset[dataset]++
 	a.admitted[pri]++
 }
 
 // releaseFunc returns the idempotence-unchecked release closure for one
 // admitted cost.
-func (a *admission) releaseFunc(cost int64) func() {
+func (a *admission) releaseFunc(dataset string, cost int64) func() {
 	return func() {
 		a.mu.Lock()
 		a.inflightCost -= cost
 		a.inflightReqs--
+		if a.perDataset[dataset]--; a.perDataset[dataset] <= 0 {
+			delete(a.perDataset, dataset)
+		}
 		a.grantLocked()
 		a.mu.Unlock()
 	}
 }
 
-// grantLocked admits queued waiters in FIFO order while they fit.
+// grantLocked admits queued waiters in FIFO order while they fit. A
+// waiter whose dataset is at quota is skipped (it keeps waiting — its
+// dataset had quota when it enqueued and will again when a same-dataset
+// release runs grantLocked), so one saturated dataset cannot
+// head-block the queue for every other dataset.
 func (a *admission) grantLocked() {
-	for len(a.queue) > 0 && a.fitsLocked(a.queue[0].cost) {
-		w := a.queue[0]
-		a.queue = a.queue[1:]
+	for i := 0; i < len(a.queue); {
+		w := a.queue[i]
+		if !a.datasetFitsLocked(w.dataset) {
+			i++
+			continue
+		}
+		if !a.fitsLocked(w.cost) {
+			break
+		}
+		a.queue = append(a.queue[:i], a.queue[i+1:]...)
 		w.granted = true
-		a.admitLocked(PriorityInteractive, w.cost)
+		a.admitLocked(PriorityInteractive, w.dataset, w.cost)
 		close(w.ready)
 	}
 }
@@ -262,6 +311,7 @@ func (a *admission) Stats() AdmissionStats {
 		MaxCost:             a.maxCost,
 		MaxInflight:         a.maxReqs,
 		MaxQueue:            a.maxQueue,
+		MaxPerDataset:       a.maxPerDataset,
 		InflightCost:        a.inflightCost,
 		InflightRequests:    a.inflightReqs,
 		QueueLength:         len(a.queue),
@@ -269,6 +319,7 @@ func (a *admission) Stats() AdmissionStats {
 		AdmittedBackground:  a.admitted[PriorityBackground],
 		ShedInteractive:     a.shed[PriorityInteractive],
 		ShedBackground:      a.shed[PriorityBackground],
+		ShedPerDataset:      a.shedDataset,
 		Queued:              a.queued,
 		QueueCancelled:      a.queueCancelled,
 	}

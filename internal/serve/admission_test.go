@@ -17,7 +17,7 @@ func acquireOrTimeout(t *testing.T, a *admission, pri Priority, cost int64) func
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	release, err := a.Acquire(ctx, pri, cost)
+	release, err := a.Acquire(ctx, pri, "ds", cost)
 	if err != nil {
 		t.Fatalf("Acquire(%v, %d): %v", pri, cost, err)
 	}
@@ -25,7 +25,7 @@ func acquireOrTimeout(t *testing.T, a *admission, pri Priority, cost int64) func
 }
 
 func TestAdmissionUnlimitedAdmitsEverything(t *testing.T) {
-	a := newAdmission(0, 0, 0)
+	a := newAdmission(0, 0, 0, 0)
 	var releases []func()
 	for i := 0; i < 100; i++ {
 		pri := PriorityInteractive
@@ -50,7 +50,7 @@ func TestAdmissionUnlimitedAdmitsEverything(t *testing.T) {
 }
 
 func TestAdmissionQueuesInteractiveFIFO(t *testing.T) {
-	a := newAdmission(0, 1, 8)
+	a := newAdmission(0, 1, 8, 0)
 	r1 := acquireOrTimeout(t, a, PriorityInteractive, 1)
 
 	// Two waiters queue behind the occupant; grants must come back in
@@ -61,7 +61,7 @@ func TestAdmissionQueuesInteractiveFIFO(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			release, err := a.Acquire(context.Background(), PriorityInteractive, 1)
+			release, err := a.Acquire(context.Background(), PriorityInteractive, "ds", 1)
 			if err != nil {
 				t.Errorf("waiter %d: %v", id, err)
 				return
@@ -102,11 +102,11 @@ func waitForQueue(t *testing.T, a *admission, n int) {
 }
 
 func TestAdmissionShedsBackgroundImmediately(t *testing.T) {
-	a := newAdmission(0, 1, 8)
+	a := newAdmission(0, 1, 8, 0)
 	r := acquireOrTimeout(t, a, PriorityInteractive, 1)
 	defer r()
 
-	_, err := a.Acquire(context.Background(), PriorityBackground, 1)
+	_, err := a.Acquire(context.Background(), PriorityBackground, "ds", 1)
 	if !errors.Is(err, ErrSaturated) {
 		t.Fatalf("background under saturation: err=%v, want ErrSaturated", err)
 	}
@@ -123,14 +123,14 @@ func TestAdmissionBackgroundNeverOvertakesWaiters(t *testing.T) {
 	// Budget has room for the background request, but an interactive
 	// waiter is queued (blocked on the request bound): background must
 	// still be shed, not slipped in ahead.
-	a := newAdmission(100, 1, 8)
+	a := newAdmission(100, 1, 8, 0)
 	r := acquireOrTimeout(t, a, PriorityInteractive, 1)
 
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		release, err := a.Acquire(context.Background(), PriorityInteractive, 1)
+		release, err := a.Acquire(context.Background(), PriorityInteractive, "ds", 1)
 		if err != nil {
 			t.Errorf("queued waiter: %v", err)
 			return
@@ -139,7 +139,7 @@ func TestAdmissionBackgroundNeverOvertakesWaiters(t *testing.T) {
 	}()
 	waitForQueue(t, a, 1)
 
-	if _, err := a.Acquire(context.Background(), PriorityBackground, 1); !errors.Is(err, ErrSaturated) {
+	if _, err := a.Acquire(context.Background(), PriorityBackground, "ds", 1); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("background with queued interactive waiter: err=%v, want ErrSaturated", err)
 	}
 	r()
@@ -147,7 +147,7 @@ func TestAdmissionBackgroundNeverOvertakesWaiters(t *testing.T) {
 }
 
 func TestAdmissionQueueOverflowSheds(t *testing.T) {
-	a := newAdmission(0, 1, 1)
+	a := newAdmission(0, 1, 1, 0)
 	r := acquireOrTimeout(t, a, PriorityInteractive, 1)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -156,13 +156,13 @@ func TestAdmissionQueueOverflowSheds(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if release, err := a.Acquire(ctx, PriorityInteractive, 1); err == nil {
+		if release, err := a.Acquire(ctx, PriorityInteractive, "ds", 1); err == nil {
 			release()
 		}
 	}()
 	waitForQueue(t, a, 1)
 
-	if _, err := a.Acquire(context.Background(), PriorityInteractive, 1); !errors.Is(err, ErrSaturated) {
+	if _, err := a.Acquire(context.Background(), PriorityInteractive, "ds", 1); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("queue overflow: err=%v, want ErrSaturated", err)
 	}
 	if st := a.Stats(); st.ShedInteractive != 1 {
@@ -173,13 +173,13 @@ func TestAdmissionQueueOverflowSheds(t *testing.T) {
 }
 
 func TestAdmissionCancelWhileQueued(t *testing.T) {
-	a := newAdmission(0, 1, 8)
+	a := newAdmission(0, 1, 8, 0)
 	r := acquireOrTimeout(t, a, PriorityInteractive, 1)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := a.Acquire(ctx, PriorityInteractive, 1)
+		_, err := a.Acquire(ctx, PriorityInteractive, "ds", 1)
 		errc <- err
 	}()
 	waitForQueue(t, a, 1)
@@ -198,7 +198,7 @@ func TestAdmissionCancelWhileQueued(t *testing.T) {
 }
 
 func TestAdmissionCostBudgetAndClamp(t *testing.T) {
-	a := newAdmission(10, 0, 8)
+	a := newAdmission(10, 0, 8, 0)
 
 	// An oversized request clamps to the whole budget rather than being
 	// forever unadmittable.
@@ -209,7 +209,7 @@ func TestAdmissionCostBudgetAndClamp(t *testing.T) {
 	// Nothing else fits while the budget is occupied.
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, err := a.Acquire(ctx, PriorityInteractive, 1); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := a.Acquire(ctx, PriorityInteractive, "ds", 1); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("budget-full acquire: err=%v, want deadline exceeded", err)
 	}
 	r()
@@ -217,7 +217,7 @@ func TestAdmissionCostBudgetAndClamp(t *testing.T) {
 	// Partial occupancy: 6+4 fits, 6+5 queues.
 	r6 := acquireOrTimeout(t, a, PriorityInteractive, 6)
 	r4 := acquireOrTimeout(t, a, PriorityInteractive, 4)
-	if _, err := a.Acquire(context.Background(), PriorityBackground, 1); !errors.Is(err, ErrSaturated) {
+	if _, err := a.Acquire(context.Background(), PriorityBackground, "ds", 1); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("background over budget: err=%v, want ErrSaturated", err)
 	}
 	r6()
@@ -232,7 +232,7 @@ func TestAdmissionCostBudgetAndClamp(t *testing.T) {
 // cancellation, then checks the books balance. Run under -race this is
 // the memory-safety test for the queue manipulation.
 func TestAdmissionConcurrentChurn(t *testing.T) {
-	a := newAdmission(32, 4, 16)
+	a := newAdmission(32, 4, 16, 0)
 	const workers = 16
 	const perWorker = 200
 
@@ -251,7 +251,7 @@ func TestAdmissionConcurrentChurn(t *testing.T) {
 					pri = PriorityBackground
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(200))*time.Microsecond)
-				release, err := a.Acquire(ctx, pri, int64(rng.Intn(12)))
+				release, err := a.Acquire(ctx, pri, "ds", int64(rng.Intn(12)))
 				switch {
 				case err == nil:
 					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
@@ -292,6 +292,109 @@ func TestAdmissionConcurrentChurn(t *testing.T) {
 	}
 	if st.QueueCancelled != cancelled {
 		t.Fatalf("controller cancelled %d, callers saw %d", st.QueueCancelled, cancelled)
+	}
+}
+
+func TestAdmissionPerDatasetQuotaShedsImmediately(t *testing.T) {
+	a := newAdmission(0, 0, 0, 2)
+	r1 := acquireOrTimeout(t, a, PriorityInteractive, 1)
+	r2 := acquireOrTimeout(t, a, PriorityInteractive, 1)
+
+	// "ds" is at quota: even interactive work sheds immediately instead
+	// of queueing, with the usual retryable saturation error.
+	_, err := a.Acquire(context.Background(), PriorityInteractive, "ds", 1)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("dataset at quota: err=%v, want ErrSaturated", err)
+	}
+	var sat *SaturatedError
+	if !errors.As(err, &sat) || sat.RetryAfter < time.Second {
+		t.Fatalf("want *SaturatedError with RetryAfter >= 1s, got %#v", err)
+	}
+	if st := a.Stats(); st.ShedPerDataset != 1 || st.ShedInteractive != 1 {
+		t.Fatalf("shed counters %+v, want ShedPerDataset=1 ShedInteractive=1", st)
+	}
+
+	// Other datasets are unaffected by one dataset's saturation.
+	rOther, err := a.Acquire(context.Background(), PriorityInteractive, "other", 1)
+	if err != nil {
+		t.Fatalf("other dataset under quota: %v", err)
+	}
+	rOther()
+
+	// Releasing a slot restores the dataset's quota.
+	r1()
+	r3, err := a.Acquire(context.Background(), PriorityInteractive, "ds", 1)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r3()
+	r2()
+	if st := a.Stats(); st.InflightRequests != 0 {
+		t.Fatalf("not drained: %+v", st)
+	}
+}
+
+func TestAdmissionQuotaDoesNotHeadBlockQueue(t *testing.T) {
+	// Two global slots, one per dataset. Occupy both slots with "a" and
+	// "c", then queue [b, b, d]. The first release grants the first "b";
+	// the second release must skip the now-at-quota second "b" and grant
+	// "d" behind it — a saturated dataset cannot head-block the queue.
+	a := newAdmission(0, 2, 8, 1)
+	releaseA, err := a.Acquire(context.Background(), PriorityInteractive, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	releaseC, err := a.Acquire(context.Background(), PriorityInteractive, "c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grantOrder := make(chan string, 3)
+	releases := make(chan func(), 3)
+	enqueue := func(ds string) {
+		go func() {
+			release, err := a.Acquire(context.Background(), PriorityInteractive, ds, 1)
+			if err != nil {
+				t.Errorf("waiter %s: %v", ds, err)
+				return
+			}
+			grantOrder <- ds
+			releases <- release
+		}()
+	}
+	recv := func(want string) {
+		t.Helper()
+		select {
+		case ds := <-grantOrder:
+			if ds != want {
+				t.Fatalf("granted %q, want %q", ds, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no grant within 5s waiting for %q", want)
+		}
+	}
+	enqueue("b")
+	waitForQueue(t, a, 1)
+	enqueue("b")
+	waitForQueue(t, a, 2)
+	enqueue("d")
+	waitForQueue(t, a, 3)
+
+	releaseA()
+	recv("b") // FIFO head
+	releaseC()
+	recv("d") // second "b" is quota-blocked and skipped, not head-blocking
+	if st := a.Stats(); st.QueueLength != 1 {
+		t.Fatalf("queue length %d, want 1 (the quota-blocked waiter)", st.QueueLength)
+	}
+
+	// Releasing the first "b" finally grants the skipped waiter.
+	(<-releases)()
+	recv("b")
+	(<-releases)()
+	(<-releases)()
+	if st := a.Stats(); st.InflightRequests != 0 || st.QueueLength != 0 {
+		t.Fatalf("not drained: %+v", st)
 	}
 }
 

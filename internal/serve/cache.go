@@ -9,12 +9,17 @@ import (
 )
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
+// DiskHits/DiskMisses count what happened after a memory miss when a
+// spill store is attached: a disk hit decoded a previously evicted (or
+// snapshot-flushed) entry instead of recomputing.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+	Capacity   int   `json:"capacity"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	DiskHits   int64 `json:"disk_hits,omitempty"`
+	DiskMisses int64 `json:"disk_misses,omitempty"`
 }
 
 type cacheEntry[V any] struct {
@@ -26,6 +31,11 @@ type cacheEntry[V any] struct {
 // and the measure cache. Values are shared by reference — cached
 // objects are immutable by convention, so all readers see the same
 // object.
+//
+// With a spill store attached (setSpill), evicted entries serialize to
+// disk and Get probes the disk tier after a memory miss, so the memory
+// capacity bounds the hot set while the disk budget bounds the total
+// retained set. All spill IO happens outside the lock.
 type lru[V any] struct {
 	mu       sync.Mutex
 	capacity int
@@ -35,6 +45,12 @@ type lru[V any] struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	spill      *spillStore
+	encode     func(V) ([]byte, error)
+	decode     func([]byte) (V, error)
+	diskHits   int64
+	diskMisses int64
 }
 
 func newLRU[V any](capacity int) *lru[V] {
@@ -45,38 +61,116 @@ func newLRU[V any](capacity int) *lru[V] {
 	}
 }
 
+// setSpill attaches the disk tier: evictions encode to store, and Get
+// probes store after a memory miss. Must be called before the cache is
+// shared across goroutines.
+func (c *lru[V]) setSpill(store *spillStore, encode func(V) ([]byte, error), decode func([]byte) (V, error)) {
+	c.spill = store
+	c.encode = encode
+	c.decode = decode
+}
+
 // Get returns the cached value for key, promoting it to most recently
-// used.
+// used. After a memory miss it probes the spill store (when attached):
+// a disk hit decodes, repopulates the memory tier, and still reports
+// ok=true — callers never observe the tiering, only the stats do.
 func (c *lru[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		var zero V
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		val := el.Value.(*cacheEntry[V]).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.misses++
+	spill := c.spill
+	c.mu.Unlock()
+
+	var zero V
+	if spill == nil {
 		return zero, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry[V]).val, true
+	payload, ok := spill.Get(key)
+	if !ok {
+		c.addDiskResult(false)
+		return zero, false
+	}
+	val, err := c.decode(payload)
+	if err != nil {
+		// A decodable-header but undecodable-payload file: count as a
+		// miss and recompute; the next Put overwrites it.
+		c.addDiskResult(false)
+		return zero, false
+	}
+	c.addDiskResult(true)
+	c.Put(key, val)
+	return val, true
+}
+
+// addDiskResult records the outcome of one spill probe.
+func (c *lru[V]) addDiskResult(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.diskHits++
+	} else {
+		c.diskMisses++
+	}
+	c.mu.Unlock()
 }
 
 // Put inserts (or refreshes) a value, evicting the least recently used
-// entry when over capacity.
+// entries when over capacity. With a spill store attached, evicted
+// entries serialize to disk (outside the lock) instead of vanishing.
 func (c *lru[V]) Put(key string, val V) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry[V]).val = val
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry[V]{key: key, val: val})
+	var spilled []*cacheEntry[V]
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
+		ent := oldest.Value.(*cacheEntry[V])
+		delete(c.entries, ent.key)
 		c.evictions++
+		if c.spill != nil {
+			spilled = append(spilled, ent)
+		}
+	}
+	spill := c.spill
+	c.mu.Unlock()
+	for _, ent := range spilled {
+		if data, err := c.encode(ent.val); err == nil {
+			spill.Put(ent.key, data)
+		}
+	}
+}
+
+// flushToSpill writes every in-memory entry through to the spill store
+// (least recently used first, so recency survives the round trip) —
+// the warm-start path: a snapshotting shutdown flushes, and the next
+// boot's memory misses land as disk hits.
+func (c *lru[V]) flushToSpill() {
+	c.mu.Lock()
+	spill := c.spill
+	if spill == nil {
+		c.mu.Unlock()
+		return
+	}
+	ents := make([]*cacheEntry[V], 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		ents = append(ents, el.Value.(*cacheEntry[V]))
+	}
+	c.mu.Unlock()
+	for _, ent := range ents {
+		if data, err := c.encode(ent.val); err == nil {
+			spill.Put(ent.key, data)
+		}
 	}
 }
 
@@ -92,11 +186,13 @@ func (c *lru[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   c.order.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:    c.order.Len(),
+		Capacity:   c.capacity,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		DiskHits:   c.diskHits,
+		DiskMisses: c.diskMisses,
 	}
 }
 

@@ -140,9 +140,25 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		mw.value(p+"entries", "", float64(cs.Entries))
 		mw.header(p+"capacity", which+" cache capacity", "gauge")
 		mw.value(p+"capacity", "", float64(cs.Capacity))
+		mw.header(p+"disk_hits_total", which+" cache memory misses served from the spill tier", "counter")
+		mw.value(p+"disk_hits_total", "", float64(cs.DiskHits))
+		mw.header(p+"disk_misses_total", which+" cache memory misses that also missed the spill tier", "counter")
+		mw.value(p+"disk_misses_total", "", float64(cs.DiskMisses))
 	}
 	writeCache("projection", s.CacheStats())
 	writeCache("measure", s.mcache.Stats())
+
+	sp := s.SpillStats()
+	mw.header("hyperline_spill_entries", "entries in the on-disk spill store", "gauge")
+	mw.value("hyperline_spill_entries", "", float64(sp.Entries))
+	mw.header("hyperline_spill_bytes", "bytes in the on-disk spill store", "gauge")
+	mw.value("hyperline_spill_bytes", "", float64(sp.Bytes))
+	mw.header("hyperline_spill_writes_total", "entries written to the spill store", "counter")
+	mw.value("hyperline_spill_writes_total", "", float64(sp.Writes))
+	mw.header("hyperline_spill_evictions_total", "spill files evicted to fit the disk budget", "counter")
+	mw.value("hyperline_spill_evictions_total", "", float64(sp.Evictions))
+	mw.header("hyperline_spill_errors_total", "spill reads or writes that failed (degraded to cold misses)", "counter")
+	mw.value("hyperline_spill_errors_total", "", float64(sp.Errors))
 
 	mw.header("hyperline_projection_computes_total", "per-s projections actually computed (Stages 1-4 ran)", "counter")
 	mw.value("hyperline_projection_computes_total", "", float64(s.projectionComputes.Load()))
@@ -163,6 +179,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	mw.header("hyperline_admission_shed_total", "requests shed by admission control", "counter")
 	mw.value("hyperline_admission_shed_total", `priority="interactive"`, float64(as.ShedInteractive))
 	mw.value("hyperline_admission_shed_total", `priority="background"`, float64(as.ShedBackground))
+	mw.header("hyperline_admission_dataset_shed_total", "requests shed by the per-dataset inflight quota (also in shed_total)", "counter")
+	mw.value("hyperline_admission_dataset_shed_total", "", float64(as.ShedPerDataset))
 	mw.header("hyperline_admission_queued_total", "admissions that waited in the queue", "counter")
 	mw.value("hyperline_admission_queued_total", "", float64(as.Queued))
 	mw.header("hyperline_admission_queue_cancelled_total", "queued admissions abandoned by context expiry", "counter")

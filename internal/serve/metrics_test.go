@@ -12,29 +12,39 @@ import (
 // export, with its declared type. Scrapers key dashboards and alerts on
 // these names, so additions belong here and removals are breaking.
 var metricFamilies = map[string]string{
-	"hyperline_projection_cache_hits_total":      "counter",
-	"hyperline_projection_cache_misses_total":    "counter",
-	"hyperline_projection_cache_evictions_total": "counter",
-	"hyperline_projection_cache_entries":         "gauge",
-	"hyperline_projection_cache_capacity":        "gauge",
-	"hyperline_measure_cache_hits_total":         "counter",
-	"hyperline_measure_cache_misses_total":       "counter",
-	"hyperline_measure_cache_evictions_total":    "counter",
-	"hyperline_measure_cache_entries":            "gauge",
-	"hyperline_measure_cache_capacity":           "gauge",
-	"hyperline_projection_computes_total":        "counter",
-	"hyperline_measure_computes_total":           "counter",
-	"hyperline_singleflight_dedups_total":        "counter",
-	"hyperline_datasets":                         "gauge",
-	"hyperline_admission_admitted_total":         "counter",
-	"hyperline_admission_shed_total":             "counter",
-	"hyperline_admission_queued_total":           "counter",
-	"hyperline_admission_queue_cancelled_total":  "counter",
-	"hyperline_admission_inflight_cost_units":    "gauge",
-	"hyperline_admission_inflight_requests":      "gauge",
-	"hyperline_admission_queue_length":           "gauge",
-	"hyperline_http_responses_total":             "counter",
-	"hyperline_stage_duration_seconds":           "histogram",
+	"hyperline_projection_cache_hits_total":        "counter",
+	"hyperline_projection_cache_misses_total":      "counter",
+	"hyperline_projection_cache_evictions_total":   "counter",
+	"hyperline_projection_cache_entries":           "gauge",
+	"hyperline_projection_cache_capacity":          "gauge",
+	"hyperline_projection_cache_disk_hits_total":   "counter",
+	"hyperline_projection_cache_disk_misses_total": "counter",
+	"hyperline_measure_cache_hits_total":           "counter",
+	"hyperline_measure_cache_misses_total":         "counter",
+	"hyperline_measure_cache_evictions_total":      "counter",
+	"hyperline_measure_cache_entries":              "gauge",
+	"hyperline_measure_cache_capacity":             "gauge",
+	"hyperline_measure_cache_disk_hits_total":      "counter",
+	"hyperline_measure_cache_disk_misses_total":    "counter",
+	"hyperline_spill_entries":                      "gauge",
+	"hyperline_spill_bytes":                        "gauge",
+	"hyperline_spill_writes_total":                 "counter",
+	"hyperline_spill_evictions_total":              "counter",
+	"hyperline_spill_errors_total":                 "counter",
+	"hyperline_projection_computes_total":          "counter",
+	"hyperline_measure_computes_total":             "counter",
+	"hyperline_singleflight_dedups_total":          "counter",
+	"hyperline_datasets":                           "gauge",
+	"hyperline_admission_admitted_total":           "counter",
+	"hyperline_admission_shed_total":               "counter",
+	"hyperline_admission_dataset_shed_total":       "counter",
+	"hyperline_admission_queued_total":             "counter",
+	"hyperline_admission_queue_cancelled_total":    "counter",
+	"hyperline_admission_inflight_cost_units":      "gauge",
+	"hyperline_admission_inflight_requests":        "gauge",
+	"hyperline_admission_queue_length":             "gauge",
+	"hyperline_http_responses_total":               "counter",
+	"hyperline_stage_duration_seconds":             "histogram",
 }
 
 // scrapeMetrics GETs /metrics and parses it into declared families and

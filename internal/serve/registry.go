@@ -103,11 +103,76 @@ func (r *Registry) Add(name string, h *hg.Hypergraph) uint64 {
 	return r.nextVer
 }
 
-// Load reads a hypergraph from path (format by extension, as
-// hgio.LoadFile: ".pairs", ".bin", or adjacency lines) and registers it
-// under name.
+// addRestored registers h under name with a pinned version — the
+// snapshot-restore path, where reusing the pre-restart version is what
+// keeps previously minted cache keys (and spilled entries) valid. The
+// version counter advances past the pinned version so later Add calls
+// never collide with it.
+func (r *Registry) addRestored(name string, h *hg.Hypergraph, version uint64) {
+	stats := hg.ComputeStats(name, h)
+	stats.ToplexSample = hg.SampleContainment(h)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if version > r.nextVer {
+		r.nextVer = version
+	}
+	r.byName[name] = &dataset{
+		h:         h,
+		version:   version,
+		stats:     stats,
+		costs:     core.NewCostModel(),
+		dualCosts: core.NewCostModel(),
+	}
+}
+
+// bumpNextVersion advances the version counter to at least v.
+func (r *Registry) bumpNextVersion(v uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v > r.nextVer {
+		r.nextVer = v
+	}
+}
+
+// registrySnapshot is one (name, hypergraph, version) triple from
+// snapshot.
+type registrySnapshot struct {
+	name    string
+	h       *hg.Hypergraph
+	version uint64
+}
+
+// snapshot returns the current registry contents and version counter.
+func (r *Registry) snapshot() ([]registrySnapshot, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]registrySnapshot, 0, len(r.byName))
+	for name, d := range r.byName {
+		out = append(out, registrySnapshot{name: name, h: d.h, version: d.version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, r.nextVer
+}
+
+// drain empties the registry and returns the removed datasets — the
+// teardown path behind Service.Close.
+func (r *Registry) drain() []*dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*dataset, 0, len(r.byName))
+	for _, d := range r.byName {
+		out = append(out, d)
+	}
+	r.byName = make(map[string]*dataset)
+	return out
+}
+
+// Load reads a hypergraph from path and registers it under name. Binary
+// files are mapped (hgio.MapFile) rather than parsed — registration is
+// O(pages touched) and the dataset can exceed RAM; text formats load
+// through the ordinary readers.
 func (r *Registry) Load(name, path string) (uint64, error) {
-	h, err := hgio.LoadFile(path)
+	h, err := hgio.MapFile(path)
 	if err != nil {
 		return 0, err
 	}

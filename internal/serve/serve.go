@@ -51,6 +51,11 @@ type Config struct {
 	// admission before further ones are shed (0 = a small default).
 	// Background work (warmup) never queues.
 	MaxQueue int
+	// MaxInflightPerDataset bounds concurrently admitted Stage-3
+	// passes per dataset (0 = unlimited). A dataset at its quota sheds
+	// immediately with the same 429 + Retry-After path, so one hot
+	// dataset cannot monopolize the global budget or the queue.
+	MaxInflightPerDataset int
 }
 
 // Service ties the dataset registry, the result cache, the Stage-5
@@ -76,6 +81,11 @@ type Service struct {
 
 	adm     *admission
 	metrics *metrics
+
+	// spill is the shared disk tier under both LRUs; nil until
+	// EnableSpill. Both caches address it by their (disjoint) key
+	// namespaces.
+	spill *spillStore
 }
 
 // New returns an empty service.
@@ -84,9 +94,35 @@ func New(cfg Config) *Service {
 		reg:     NewRegistry(),
 		cache:   NewCache(cfg.CacheEntries),
 		mcache:  NewMeasureCache(cfg.MeasureCacheEntries),
-		adm:     newAdmission(cfg.ShedCostBudget, cfg.MaxInflight, cfg.MaxQueue),
+		adm:     newAdmission(cfg.ShedCostBudget, cfg.MaxInflight, cfg.MaxQueue, cfg.MaxInflightPerDataset),
 		metrics: newMetrics(),
 	}
+}
+
+// EnableSpill attaches a disk tier under both caches: entries evicted
+// from memory serialize into dir (bounded to budgetBytes; <= 0 =
+// unbounded), and memory misses probe dir before recomputing. The
+// directory is scanned on attach, so entries spilled by a previous
+// process — or flushed by SaveState — serve as disk hits immediately.
+// Must be called before the service takes traffic.
+func (s *Service) EnableSpill(dir string, budgetBytes int64) error {
+	store, err := newSpillStore(dir, budgetBytes)
+	if err != nil {
+		return err
+	}
+	s.spill = store
+	s.cache.setSpill(store, encodeProjection, decodeProjection)
+	s.mcache.setSpill(store, encodeMeasureEntry, decodeMeasureEntry)
+	return nil
+}
+
+// SpillStats snapshots the disk tier; zero-valued when spill is not
+// enabled.
+func (s *Service) SpillStats() SpillStats {
+	if s.spill == nil {
+		return SpillStats{}
+	}
+	return s.spill.Stats()
 }
 
 // AdmissionStats snapshots the admission controller: configured limits,
@@ -296,7 +332,7 @@ func (s *Service) projectBatchAt(ctx context.Context, h *hg.Hypergraph, version 
 			// cache re-probe, so hits are never shed. The flight admits
 			// under the priority of the caller that started it; joiners
 			// share its fate.
-			release, aerr := s.adm.Acquire(fctx, pri, estimateCost(cfg, compute))
+			release, aerr := s.adm.Acquire(fctx, pri, name, estimateCost(cfg, compute))
 			if aerr != nil {
 				return nil, aerr
 			}

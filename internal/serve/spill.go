@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The spill store is the disk tier under the in-memory LRUs: entries
+// evicted from memory serialize into a bounded directory of
+// content-addressed files, and memory misses probe it before
+// recomputing. Files are self-describing — the cache key is embedded in
+// a header and the filename is its SHA-256 — so the directory is its
+// own index: a boot-time scan rebuilds the recency list and no separate
+// index file can go stale or corrupt. Writes are atomic
+// (tmp + fsync + rename into place); a crash mid-write leaves only a
+// tmp file that the next boot sweeps, never a torn entry.
+
+// spillMagic heads every spill file, versioned independently of the
+// payload codecs layered above.
+var spillMagic = [8]byte{'H', 'L', 'S', 'P', 'I', 'L', 'L', 1}
+
+// spillTmpPrefix marks in-progress writes; boot sweeps leftovers.
+const spillTmpPrefix = "tmp-"
+
+// spillSuffix names completed entries.
+const spillSuffix = ".spill"
+
+// SpillStats is a point-in-time snapshot of the disk tier.
+type SpillStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Errors    int64 `json:"errors"`
+}
+
+// spillFile is one on-disk entry tracked by the recency list.
+type spillFile struct {
+	key  string
+	size int64
+}
+
+// spillStore is a bounded, content-addressed, crash-safe store of
+// serialized cache entries. All methods are safe for concurrent use;
+// file IO happens outside the index lock.
+type spillStore struct {
+	dir    string
+	budget int64 // bytes; <= 0 = unbounded
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+
+	hits      int64
+	misses    int64
+	writes    int64
+	evictions int64
+	errors    int64
+}
+
+// spillPath is the content-addressed location for key.
+func (st *spillStore) spillPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:])+spillSuffix)
+}
+
+// newSpillStore opens (creating if needed) a spill directory, sweeps
+// torn tmp files, and rebuilds the index from the entries present —
+// ordered oldest-first by mtime so budget eviction drops the stalest.
+func newSpillStore(dir string, budget int64) (*spillStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: spill dir: %w", err)
+	}
+	st := &spillStore{
+		dir:    dir,
+		budget: budget,
+		order:  list.New(),
+		index:  make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scanning spill dir: %w", err)
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var files []found
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasPrefix(name, spillTmpPrefix) {
+			os.Remove(filepath.Join(dir, name)) // torn write from a crash
+			continue
+		}
+		if !strings.HasSuffix(name, spillSuffix) || de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		key, err := readSpillKey(path)
+		if err != nil {
+			// Unreadable or foreign file: not one of ours, drop it so
+			// the budget accounting stays truthful.
+			os.Remove(path)
+			st.errors++
+			continue
+		}
+		if st.spillPath(key) != path {
+			os.Remove(path) // name does not match its embedded key
+			st.errors++
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, found{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		st.index[f.key] = st.order.PushFront(&spillFile{key: f.key, size: f.size})
+		st.bytes += f.size
+	}
+	for _, path := range st.evictOverBudgetLocked(0) {
+		os.Remove(path)
+	}
+	return st, nil
+}
+
+// readSpillKey reads just the embedded key of a spill file.
+func readSpillKey(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var hdr [12]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return "", err
+	}
+	if [8]byte(hdr[:8]) != spillMagic {
+		return "", fmt.Errorf("bad spill magic")
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[8:])
+	if keyLen == 0 || keyLen > 1<<16 {
+		return "", fmt.Errorf("implausible spill key length %d", keyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(f, key); err != nil {
+		return "", err
+	}
+	return string(key), nil
+}
+
+// Get returns the stored payload for key, promoting it to most recently
+// used. A missing, unreadable, or mismatched file is a miss (and the
+// entry is dropped), never an error: the caller recomputes.
+func (st *spillStore) Get(key string) ([]byte, bool) {
+	st.mu.Lock()
+	el, ok := st.index[key]
+	if !ok {
+		st.misses++
+		st.mu.Unlock()
+		return nil, false
+	}
+	st.order.MoveToFront(el)
+	st.mu.Unlock()
+
+	payload, err := readSpillPayload(st.spillPath(key), key)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err != nil {
+		st.errors++
+		st.misses++
+		if el, ok := st.index[key]; ok {
+			st.bytes -= el.Value.(*spillFile).size
+			st.order.Remove(el)
+			delete(st.index, key)
+		}
+		os.Remove(st.spillPath(key))
+		return nil, false
+	}
+	st.hits++
+	return payload, true
+}
+
+// readSpillPayload reads one spill file, verifying magic and embedded
+// key.
+func readSpillPayload(path, wantKey string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 12 || [8]byte(data[:8]) != spillMagic {
+		return nil, fmt.Errorf("bad spill header")
+	}
+	keyLen := int64(binary.LittleEndian.Uint32(data[8:]))
+	if keyLen != int64(len(wantKey)) || int64(len(data)) < 12+keyLen {
+		return nil, fmt.Errorf("bad spill key length")
+	}
+	if string(data[12:12+keyLen]) != wantKey {
+		return nil, fmt.Errorf("spill key mismatch")
+	}
+	return data[12+keyLen:], nil
+}
+
+// Put stores payload under key: an atomic tmp + fsync + rename, then an
+// index insert, then budget eviction of the least recently used files.
+// Failures are recorded and swallowed — a failed spill degrades to a
+// future cold miss.
+func (st *spillStore) Put(key string, payload []byte) {
+	path := st.spillPath(key)
+	size, err := writeSpillFile(st.dir, path, key, payload)
+	st.mu.Lock()
+	if err != nil {
+		st.errors++
+		st.mu.Unlock()
+		return
+	}
+	st.writes++
+	if el, ok := st.index[key]; ok {
+		sf := el.Value.(*spillFile)
+		st.bytes += size - sf.size
+		sf.size = size
+		st.order.MoveToFront(el)
+	} else {
+		st.index[key] = st.order.PushFront(&spillFile{key: key, size: size})
+		st.bytes += size
+	}
+	evicted := st.evictOverBudgetLocked(1)
+	st.mu.Unlock()
+	for _, p := range evicted {
+		os.Remove(p)
+	}
+}
+
+// evictOverBudgetLocked drops least-recently-used entries until the
+// store fits the budget, keeping at least keep entries, and returns the
+// file paths to remove (IO is the caller's, outside the lock).
+func (st *spillStore) evictOverBudgetLocked(keep int) []string {
+	if st.budget <= 0 {
+		return nil
+	}
+	var paths []string
+	for st.bytes > st.budget && st.order.Len() > keep {
+		oldest := st.order.Back()
+		sf := oldest.Value.(*spillFile)
+		st.order.Remove(oldest)
+		delete(st.index, sf.key)
+		st.bytes -= sf.size
+		st.evictions++
+		paths = append(paths, st.spillPath(sf.key))
+	}
+	return paths
+}
+
+// writeSpillFile writes magic+key+payload to a tmp file in dir, fsyncs,
+// and renames it into place. Returns the file size.
+func writeSpillFile(dir, path, key string, payload []byte) (int64, error) {
+	tmp, err := os.CreateTemp(dir, spillTmpPrefix+"*")
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr [12]byte
+	copy(hdr[:8], spillMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(key)))
+	for _, chunk := range [][]byte{hdr[:], []byte(key), payload} {
+		if _, err := tmp.Write(chunk); err != nil {
+			return 0, err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return 0, err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return 0, err
+	}
+	return int64(12 + len(key) + len(payload)), nil
+}
+
+// Stats snapshots the store counters.
+func (st *spillStore) Stats() SpillStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SpillStats{
+		Entries:   st.order.Len(),
+		Bytes:     st.bytes,
+		Budget:    st.budget,
+		Hits:      st.hits,
+		Misses:    st.misses,
+		Writes:    st.writes,
+		Evictions: st.evictions,
+		Errors:    st.errors,
+	}
+}

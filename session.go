@@ -63,6 +63,11 @@ var ErrSaturated = serve.ErrSaturated
 // configured limits, live occupancy, and admitted/shed counters.
 type AdmissionStats = serve.AdmissionStats
 
+// SpillStats is a snapshot of a Session's on-disk cache tier: entry and
+// byte counts against the budget, plus hit/miss/write/eviction
+// counters.
+type SpillStats = serve.SpillStats
+
 // Measures lists every registered Stage-5 measure, sorted by name.
 func Measures() []MeasureInfo { return measure.Infos() }
 
@@ -83,6 +88,24 @@ type SessionOptions struct {
 	// MaxQueue bounds the interactive admission wait queue
 	// (0 = a small default).
 	MaxQueue int
+	// MaxInflightPerDataset bounds concurrently admitted Stage-3
+	// passes per dataset (0 = unlimited); a dataset at its quota sheds
+	// immediately with ErrSaturated.
+	MaxInflightPerDataset int
+
+	// SpillDir, when non-empty, attaches a disk tier under both
+	// caches: entries evicted from memory serialize there and memory
+	// misses probe it before recomputing. Honored by OpenSession
+	// (NewSession ignores persistence options — it cannot report
+	// setup errors).
+	SpillDir string
+	// SpillBudgetBytes bounds the spill directory (<= 0 = unbounded);
+	// least recently used files are removed past it.
+	SpillBudgetBytes int64
+	// StateDir, when non-empty, makes OpenSession restore a registry
+	// snapshot written by SaveState (a warm start; a missing or empty
+	// directory is a cold start). Pair with SaveState on the way out.
+	StateDir string
 }
 
 // Session is a long-lived facade over the pipeline with a shared result
@@ -99,16 +122,60 @@ type Session struct {
 	svc *serve.Service
 }
 
-// NewSession returns an empty session.
+// NewSession returns an empty session. Persistence options (SpillDir,
+// StateDir) are ignored here — use OpenSession, which can report their
+// setup errors.
 func NewSession(opt SessionOptions) *Session {
 	return &Session{svc: serve.New(serve.Config{
-		CacheEntries:        opt.CacheEntries,
-		MeasureCacheEntries: opt.MeasureCacheEntries,
-		MaxInflight:         opt.MaxInflight,
-		ShedCostBudget:      opt.ShedCostBudget,
-		MaxQueue:            opt.MaxQueue,
+		CacheEntries:          opt.CacheEntries,
+		MeasureCacheEntries:   opt.MeasureCacheEntries,
+		MaxInflight:           opt.MaxInflight,
+		ShedCostBudget:        opt.ShedCostBudget,
+		MaxQueue:              opt.MaxQueue,
+		MaxInflightPerDataset: opt.MaxInflightPerDataset,
 	})}
 }
+
+// OpenSession returns a session honoring every option, including the
+// persistence ones: with SpillDir set it attaches the disk cache tier,
+// and with StateDir set it restores any registry snapshot found there —
+// a warm start whose first queries hit the spill tier instead of
+// recomputing. Sessions opened this way should SaveState (to snapshot)
+// and Close (to unmap datasets) on the way out.
+func OpenSession(opt SessionOptions) (*Session, error) {
+	s := NewSession(opt)
+	if opt.SpillDir != "" {
+		if err := s.svc.EnableSpill(opt.SpillDir, opt.SpillBudgetBytes); err != nil {
+			return nil, err
+		}
+	}
+	if opt.StateDir != "" {
+		if _, err := s.svc.RestoreState(opt.StateDir); err != nil {
+			s.svc.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SaveState persists the session's registry into dir and flushes both
+// caches through the spill store (when attached), so a later
+// OpenSession with StateDir == dir boots warm. See serve.SaveState.
+func (s *Session) SaveState(dir string) error { return s.svc.SaveState(dir) }
+
+// RestoreState rehydrates datasets from a state directory written by
+// SaveState, mapping their files rather than parsing them. A missing
+// manifest is a cold start. Returns the restored dataset names.
+func (s *Session) RestoreState(dir string) ([]string, error) { return s.svc.RestoreState(dir) }
+
+// SpillStats snapshots the disk cache tier; zero-valued when no spill
+// directory is attached.
+func (s *Session) SpillStats() SpillStats { return s.svc.SpillStats() }
+
+// Close unmaps every mapped dataset. Call it when done with a session
+// that loaded binary files or restored state; outstanding results must
+// no longer be read afterwards.
+func (s *Session) Close() error { return s.svc.Close() }
 
 // Add registers h under name, replacing any previous dataset with that
 // name (its cached results are invalidated).
