@@ -67,13 +67,22 @@ type delta struct {
 
 // compare joins a fresh report against a baseline by benchmark name.
 // thresholdPct <= 0 disables the regression flag (report-only mode).
+// Rows present on only one side are reported, never gated on, and null
+// entries in a damaged or hand-edited baseline are skipped outright —
+// only a genuine shared-row slowdown can fail the gate.
 func compare(baseline, fresh *report, thresholdPct float64) (rows []delta, regressed bool) {
 	base := map[string]*result{}
 	for _, r := range baseline.Benchmarks {
+		if r == nil {
+			continue
+		}
 		base[r.Name] = r
 	}
 	seen := map[string]bool{}
 	for _, r := range fresh.Benchmarks {
+		if r == nil {
+			continue
+		}
 		seen[r.Name] = true
 		b, ok := base[r.Name]
 		if !ok {
@@ -99,7 +108,7 @@ func compare(baseline, fresh *report, thresholdPct float64) (rows []delta, regre
 		rows = append(rows, d)
 	}
 	for _, r := range baseline.Benchmarks {
-		if !seen[r.Name] {
+		if r != nil && !seen[r.Name] {
 			rows = append(rows, delta{name: r.Name, baseNs: r.NsPerOp, oneSided: true})
 		}
 	}
@@ -205,15 +214,17 @@ func main() {
 	}
 
 	if *baseline != "" {
+		// An unreadable or unparseable baseline is a warning, never a
+		// failure: only a genuine regression may exit nonzero.
 		data, err := os.ReadFile(*baseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "benchjson: skipping baseline compare:", err)
+			return
 		}
 		var prev report
 		if err := json.Unmarshal(data, &prev); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "benchjson: skipping baseline compare:", err)
+			return
 		}
 		rows, regressed := compare(&prev, &rep, *threshold)
 		printDeltas(os.Stdout, *baseline, rows)

@@ -75,3 +75,44 @@ func TestCompareDeltasAndThreshold(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareTolerantOfDamagedBaseline: a baseline that predates newly
+// added benchmarks, carries null rows (hand-edited or disk-damaged
+// JSON), or has no benchmarks at all must compare without panicking and
+// must not gate — only genuine shared-row regressions exit nonzero.
+func TestCompareTolerantOfDamagedBaseline(t *testing.T) {
+	fresh := rep("BenchmarkOld", 90.0, "BenchmarkNewThing", 50.0)
+
+	// Null rows on either side are skipped, not dereferenced.
+	damaged := rep("BenchmarkOld", 100.0)
+	damaged.Benchmarks = append([]*result{nil}, append(damaged.Benchmarks, nil)...)
+	rows, regressed := compare(damaged, fresh, 25)
+	if regressed {
+		t.Fatal("null baseline rows must not gate")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (nulls skipped)", len(rows))
+	}
+	holed := rep("BenchmarkOld", 90.0)
+	holed.Benchmarks = append(holed.Benchmarks, nil)
+	if _, regressed := compare(damaged, holed, 25); regressed {
+		t.Fatal("null fresh rows must not gate")
+	}
+
+	// An empty baseline makes every fresh row one-sided: reported, never
+	// gated, regardless of threshold.
+	rows, regressed = compare(&report{}, fresh, 25)
+	if regressed {
+		t.Fatal("an empty baseline must never gate")
+	}
+	for _, d := range rows {
+		if !d.oneSided || !d.newOnly {
+			t.Fatalf("row %+v, want one-sided new entry against an empty baseline", d)
+		}
+	}
+
+	// And a genuine regression still gates through the tolerance paths.
+	if _, regressed := compare(damaged, rep("BenchmarkOld", 200.0), 25); !regressed {
+		t.Fatal("a real +100%% slowdown must still trip the gate")
+	}
+}

@@ -11,6 +11,7 @@
 //	           [-request-timeout 30s] [-drain-timeout 10s]
 //	           [-max-inflight 8] [-shed-cost-budget 4000] [-max-queue 64]
 //	           [-state-dir dir] [-spill-dir dir] [-spill-budget bytes]
+//	           [-register http://router:8090 -advertise http://host:8080]
 //
 // Each -load registers a dataset at startup (format by extension:
 // ".pairs", ".bin", or adjacency lines — ".bin" files are mmap'd, so
@@ -40,6 +41,11 @@
 // queues. GET /metrics exposes the Prometheus text exposition: cache
 // hit rates, compute counters, singleflight dedups, admission
 // occupancy, per-stage latency histograms, and response codes.
+//
+// -register/-advertise join a scatter-gather tier: the replica
+// heartbeats its advertised base URL to a hyperrouter every
+// -register-interval, so routers discover replicas without static
+// wiring (see cmd/hyperrouter).
 //
 // -request-timeout bounds every request via its context: past it the
 // pipeline aborts cooperatively and the client receives 504 (a
@@ -117,6 +123,43 @@ func withRequestTimeout(h http.Handler, d time.Duration) http.Handler {
 	})
 }
 
+// heartbeat POSTs {"url": advertise} to router/v1/replicas once per
+// interval until ctx is done, logging registration state transitions.
+func heartbeat(ctx context.Context, router, advertise string, interval time.Duration) {
+	body := fmt.Sprintf(`{"url":%q}`, advertise)
+	client := &http.Client{Timeout: 2 * time.Second}
+	registered := false
+	attempt := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, router+"/v1/replicas", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if ok && !registered {
+			log.Printf("hyperlined: registered %s with router %s", advertise, router)
+		} else if !ok && registered {
+			log.Printf("hyperlined: lost registration with router %s", router)
+		}
+		registered = ok
+	}
+	attempt()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			attempt()
+		}
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", serve.DefaultCacheEntries, "LRU capacity in cached pipeline results")
@@ -128,6 +171,9 @@ func main() {
 	shedCostBudget := flag.Int64("shed-cost-budget", 0, "max summed planner-estimated cost of admitted Stage-3 work, in ~ms units (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "max interactive requests waiting for admission before 429 (0 = default 64)")
 	maxPerDataset := flag.Int("max-inflight-per-dataset", 0, "max concurrently admitted Stage-3 passes per dataset; excess is shed immediately with 429 (0 = unlimited)")
+	registerURL := flag.String("register", "", "hyperrouter base URL to self-register with (requires -advertise)")
+	advertise := flag.String("advertise", "", "this replica's base URL as reachable by the router, e.g. http://10.0.0.2:8080")
+	registerInterval := flag.Duration("register-interval", 5*time.Second, "heartbeat period for -register")
 	stateDir := flag.String("state-dir", "", "directory for registry snapshots: restored on boot (warm start), written on graceful shutdown")
 	spillDir := flag.String("spill-dir", "", "directory for the disk cache tier under the LRUs (default <state-dir>/spill when -state-dir is set)")
 	spillBudget := flag.Int64("spill-budget", 0, "max bytes in the spill directory; least recently used entries are removed past it (0 = unbounded)")
@@ -210,6 +256,18 @@ func main() {
 	// request contexts and aborts their pipelines cooperatively.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Self-registration: heartbeat this replica's advertised URL to a
+	// hyperrouter so the scatter-gather tier discovers it without static
+	// -replicas wiring. Failures are retried every interval (the router
+	// may simply not be up yet); only state changes are logged.
+	if *registerURL != "" {
+		if *advertise == "" {
+			fmt.Fprintln(os.Stderr, "hyperlined: -register requires -advertise")
+			os.Exit(2)
+		}
+		go heartbeat(ctx, strings.TrimRight(*registerURL, "/"), *advertise, *registerInterval)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -9,9 +9,16 @@
 // Usage:
 //
 //	hyperload -url http://localhost:8080 -dataset web [-data web.hgr]
+//	          [-targets http://a:8080,http://b:8080]
 //	          [-duration 30s] [-rate 200] [-smax 4] [-measure components]
 //	          [-mix 8,3,1] [-max-outstanding 512] [-timeout 30s]
 //	          [-seed 1] [-priority interactive] [-label run1] [-o out.json]
+//
+// -targets switches to multi-node mode: arrivals round-robin across the
+// listed bases (replicas, or routers in front of them), -data primes
+// every target, and the first-seen consistency map is shared — two
+// nodes answering the same question differently counts as a mismatch,
+// which is the cross-replica consistency check of a distributed run.
 //
 // -mix weighs sweep,measure,upload traffic (upload needs -data; the
 // dataset body is re-PUT verbatim, so versions churn but answers must
@@ -59,6 +66,7 @@ func parseMix(v string) (loadgen.Mix, error) {
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the hyperlined server")
+	targets := flag.String("targets", "", "comma-separated base URLs for multi-node mode: arrivals round-robin across them and the first-seen consistency check spans nodes (overrides -url)")
 	dataset := flag.String("dataset", "", "dataset name to query (required)")
 	data := flag.String("data", "", "adjacency-format dataset file to upload before the run (enables upload traffic)")
 	duration := flag.Duration("duration", 30*time.Second, "how long to generate arrivals")
@@ -84,8 +92,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var targetList []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targetList = append(targetList, t)
+		}
+	}
+
 	cfg := loadgen.Config{
 		BaseURL:        *url,
+		Targets:        targetList,
 		Dataset:        *dataset,
 		Duration:       *duration,
 		Rate:           *rate,

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled lets timing-sensitive tests widen their budgets: race
+// instrumentation slows the serving pipeline enough to blow through
+// margins that are generous in a normal build.
+const raceEnabled = true

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndDeterministic(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(nodes)
+	r2 := NewRing([]string{"http://c", "http://b", "http://a", "http://a", ""})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		o1 := r1.Owners(key, 2)
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("Owners(%q, 2) = %v, want 2 distinct nodes", key, o1)
+		}
+		// Placement is a pure function of the member set: order and
+		// duplicates in the input must not matter.
+		if o2 := r2.Owners(key, 2); !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("Owners(%q) differ across equivalent rings: %v vs %v", key, o1, o2)
+		}
+	}
+	// n is clamped to the cluster size; every member shows up.
+	if all := r1.Owners("k", 10); len(all) != 3 {
+		t.Fatalf("Owners(k, 10) = %v, want all 3 members", all)
+	}
+	if empty := NewRing(nil).Owners("k", 2); empty != nil {
+		t.Fatalf("empty ring returned owners %v", empty)
+	}
+}
+
+// TestRingMinimalReshuffle is the consistent-hashing property the tier
+// relies on: removing one member only re-homes the keys it owned —
+// every other key keeps its primary, so replica caches stay warm
+// through membership churn.
+func TestRingMinimalReshuffle(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	before := NewRing(nodes)
+	after := NewRing(nodes[:3]) // http://d leaves
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		pb := before.Owners(key, 1)[0]
+		pa := after.Owners(key, 1)[0]
+		if pb == "http://d" {
+			if pa == "http://d" {
+				t.Fatalf("%q still owned by a removed member", key)
+			}
+			continue
+		}
+		if pa != pb {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the leaver changed primary on its departure", moved)
+	}
+}
+
+// TestRingSpread sanity-checks the virtual-node fan: with 3 members no
+// node should own a wildly lopsided share of primaries.
+func TestRingSpread(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"})
+	counts := map[string]int{}
+	const keys = 600
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("dataset-%d", i), 1)[0]]++
+	}
+	for node, c := range counts {
+		if c < keys/6 || c > keys*2/3 {
+			t.Fatalf("node %s owns %d/%d primaries — spread is broken: %v", node, c, keys, counts)
+		}
+	}
+}

@@ -1,0 +1,825 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hyperline/internal/core"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Replicas seeds the member list with static replica base URLs;
+	// replicas may also self-register via POST /v1/replicas.
+	Replicas []string
+	// Replication is how many replicas own each dataset (clamped to the
+	// cluster size at placement time). Default 2.
+	Replication int
+	// HedgeAfter is the per-shard latency budget after which the router
+	// issues a hedged duplicate to the next owner. 0 disables hedging.
+	HedgeAfter time.Duration
+	// HealthInterval is the replica health-probe period for Run.
+	// Default 2s.
+	HealthInterval time.Duration
+	// RequestTimeout bounds every proxied query that does not carry its
+	// own shorter timeout_ms. 0 = unbounded.
+	RequestTimeout time.Duration
+	// Client issues replica sub-requests. Default: a dedicated client
+	// with no global timeout (sub-requests are bounded per-context).
+	Client *http.Client
+}
+
+// replica is one hyperlined member as the router sees it.
+type replica struct {
+	url      string
+	static   bool // from -replicas, never expired
+	healthy  bool
+	fails    int // consecutive probe/transport failures
+	lastSeen time.Time
+}
+
+// ReplicaStatus is the externally visible replica state.
+type ReplicaStatus struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Static   bool   `json:"static"`
+	Fails    int    `json:"consecutive_failures,omitempty"`
+	LastSeen string `json:"last_seen,omitempty"`
+}
+
+// Router is the stateless scatter-gather tier: it owns the replica map
+// and the placement ring, but no dataset bytes and no caches — replica
+// answers pass through verbatim, so the cache/spill tiers stay where
+// the data is and the router can be replicated freely.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+	ring     *Ring
+
+	metrics rmetrics
+}
+
+// NewRouter builds a router over the statically configured replicas
+// (all presumed healthy until probed).
+func NewRouter(cfg Config) *Router {
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	rt := &Router{
+		cfg:      cfg,
+		client:   cfg.Client,
+		replicas: make(map[string]*replica),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	for _, u := range cfg.Replicas {
+		u = strings.TrimRight(u, "/")
+		if u == "" {
+			continue
+		}
+		rt.replicas[u] = &replica{url: u, static: true, healthy: true}
+	}
+	rt.rebuildRingLocked()
+	return rt
+}
+
+// rebuildRingLocked recomputes placement after a membership change.
+// Placement ranges over *all* members, healthy or not: a blip must not
+// migrate ownership (and the data) — health only filters who is asked.
+func (rt *Router) rebuildRingLocked() {
+	nodes := make([]string, 0, len(rt.replicas))
+	for u := range rt.replicas {
+		nodes = append(nodes, u)
+	}
+	rt.ring = NewRing(nodes)
+}
+
+// owners returns the dataset's owner set in ring order, and the healthy
+// subset in the same order.
+func (rt *Router) owners(dataset string) (all, healthy []string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	all = rt.ring.Owners(dataset, rt.cfg.Replication)
+	for _, u := range all {
+		if rep, ok := rt.replicas[u]; ok && rep.healthy {
+			healthy = append(healthy, u)
+		}
+	}
+	return all, healthy
+}
+
+// markFailure records a transport-level failure against a replica and
+// immediately stops routing to it; the health loop readmits it.
+func (rt *Router) markFailure(u string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rep, ok := rt.replicas[u]; ok {
+		rep.fails++
+		rep.healthy = false
+	}
+}
+
+// markSuccess records a healthy interaction with a replica.
+func (rt *Router) markSuccess(u string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rep, ok := rt.replicas[u]; ok {
+		rep.fails = 0
+		rep.healthy = true
+		rep.lastSeen = time.Now()
+	}
+}
+
+// register adds (or refreshes) a self-registered replica.
+func (rt *Router) register(u string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rep, ok := rt.replicas[u]
+	if !ok {
+		rep = &replica{url: u}
+		rt.replicas[u] = rep
+		rt.rebuildRingLocked()
+	}
+	rep.healthy = true
+	rep.fails = 0
+	rep.lastSeen = time.Now()
+}
+
+// Replicas snapshots the member list, sorted by URL.
+func (rt *Router) Replicas() []ReplicaStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]ReplicaStatus, 0, len(rt.replicas))
+	for _, rep := range rt.replicas {
+		st := ReplicaStatus{URL: rep.url, Healthy: rep.healthy, Static: rep.static, Fails: rep.fails}
+		if !rep.lastSeen.IsZero() {
+			st.LastSeen = rep.lastSeen.UTC().Format(time.RFC3339)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// CheckHealth probes every replica's /healthz once, in parallel.
+func (rt *Router) CheckHealth(ctx context.Context) {
+	timeout := rt.cfg.HealthInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, st := range rt.Replicas() {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, u+"/healthz", nil)
+			if err != nil {
+				rt.markFailure(u)
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.markFailure(u)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				rt.markSuccess(u)
+			} else {
+				rt.markFailure(u)
+			}
+		}(st.URL)
+	}
+	wg.Wait()
+}
+
+// Run drives the health loop until ctx is done.
+func (rt *Router) Run(ctx context.Context) {
+	rt.CheckHealth(ctx)
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.CheckHealth(ctx)
+		}
+	}
+}
+
+// Handler returns the router's HTTP surface. It intentionally mirrors
+// the slice of the hyperlined API a client needs — health, dataset
+// upload/list, and /v2/query — so hyperload (and curl scripts) work
+// against a router or a single replica interchangeably.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "replicas": len(rt.Replicas())})
+	})
+	mux.HandleFunc("GET /v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.Replicas())
+	})
+	mux.HandleFunc("POST /v1/replicas", rt.handleRegister)
+	mux.HandleFunc("GET /v1/datasets", rt.handleListDatasets)
+	mux.HandleFunc("PUT /v1/datasets/{name}", rt.handleUpload)
+	mux.HandleFunc("POST /v2/query", rt.handleQuery)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt.metrics.instrument(mux)
+}
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad register body: %w", err))
+		return
+	}
+	u, err := url.Parse(body.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad replica url %q (want absolute http/https)", body.URL))
+		return
+	}
+	rt.register(strings.TrimRight(body.URL, "/"))
+	writeJSON(w, http.StatusOK, rt.Replicas())
+}
+
+// handleListDatasets merges the dataset lists of all healthy replicas
+// into a name -> replica-set view.
+func (rt *Router) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name     string   `json:"name"`
+		Replicas []string `json:"replicas"`
+	}
+	merged := map[string][]string{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, st := range rt.Replicas() {
+		if !st.Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u+"/v1/datasets", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.markFailure(u)
+				return
+			}
+			defer resp.Body.Close()
+			var list []struct {
+				Name string `json:"name"`
+			}
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&list) != nil {
+				return
+			}
+			mu.Lock()
+			for _, d := range list {
+				merged[d.Name] = append(merged[d.Name], u)
+			}
+			mu.Unlock()
+		}(st.URL)
+	}
+	wg.Wait()
+	out := make([]entry, 0, len(merged))
+	for name, reps := range merged {
+		sort.Strings(reps)
+		out = append(out, entry{Name: name, Replicas: reps})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleUpload replicates a dataset upload to every owner. Placement
+// ignores health (a blip must not migrate data), so down owners are
+// attempted and reported; at least one accepting owner makes the
+// dataset queryable and keeps the upload a success.
+func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<32))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: reading upload: %w", err))
+		return
+	}
+	owners, _ := rt.owners(name)
+	if len(owners) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no replicas registered"))
+		return
+	}
+	target := "/v1/datasets/" + url.PathEscape(name)
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	oks := make([]bool, len(owners))
+	var wg sync.WaitGroup
+	for i, u := range owners {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodPut, u+target, bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.markFailure(u)
+				rt.metrics.countSubrequest(outcomeError)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rt.markSuccess(u)
+			rt.metrics.countSubrequest(outcomeOf(resp.StatusCode))
+			oks[i] = resp.StatusCode == http.StatusOK
+		}(i, u)
+	}
+	wg.Wait()
+	replicated := 0
+	for _, ok := range oks {
+		if ok {
+			replicated++
+		}
+	}
+	if replicated == 0 {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: no owner accepted dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "replicated": replicated, "owners": len(owners)})
+}
+
+// shardOutcome is one shard's contribution to the merged response.
+type shardOutcome struct {
+	s       []int
+	entries map[int]json.RawMessage // nil when the shard failed outright
+	header  replicaHeader           // dataset/kind/measure/plan of a usable response
+	status  int                     // final shard status; 0 = transport failure
+	errMsg  string
+	shed    bool
+	// retryAfter is the largest Retry-After seen from shedding owners.
+	retryAfter int
+	deadline   bool
+}
+
+// replicaHeader is the non-entry portion of a replica /v2/query answer.
+type replicaHeader struct {
+	Dataset string          `json:"dataset"`
+	Kind    string          `json:"kind"`
+	Measure string          `json:"measure,omitempty"`
+	Plan    json.RawMessage `json:"plan,omitempty"`
+}
+
+// handleQuery is the scatter-gather core: decode just enough of the
+// body to shard it (everything else passes through verbatim), fan the
+// distinct s values across the dataset's healthy owners, and merge the
+// per-s entries back in ascending order. The router adds nothing to an
+// answer and caches nothing from it.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var base map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&base); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad /v2/query body: %w", err))
+		return
+	}
+	var dataset string
+	if raw, ok := base["dataset"]; ok {
+		json.Unmarshal(raw, &dataset)
+	}
+	if dataset == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: \"dataset\" is required"))
+		return
+	}
+	kind := "line"
+	if raw, ok := base["kind"]; ok {
+		var k string
+		json.Unmarshal(raw, &k)
+		if k != "" {
+			kind = k
+		}
+	}
+	var measureName string
+	if raw, ok := base["measure"]; ok {
+		json.Unmarshal(raw, &measureName)
+	}
+	sweep, err := decodeS(base["s"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	var timeoutMS int
+	if raw, ok := base["timeout_ms"]; ok {
+		json.Unmarshal(raw, &timeoutMS)
+	}
+	if timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		defer cancel()
+	} else if rt.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+		defer cancel()
+	}
+	// The forwarded timeout_ms is re-derived per attempt from the
+	// remaining ctx budget — drop the client's absolute value.
+	delete(base, "timeout_ms")
+
+	_, owners := rt.owners(dataset)
+	if len(owners) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no healthy replica owns dataset %q", dataset))
+		return
+	}
+
+	// Shard the distinct s values by s mod |owners|: stable for a given
+	// owner count, so repeat sweeps land each s on the same replica and
+	// its caches stay hot.
+	distinct := core.DistinctS(sweep)
+	byOwner := make(map[int][]int)
+	for _, sVal := range distinct {
+		idx := sVal % len(owners)
+		if idx < 0 {
+			idx += len(owners)
+		}
+		byOwner[idx] = append(byOwner[idx], sVal)
+	}
+	rt.metrics.countQuery(len(byOwner))
+
+	outcomes := make([]shardOutcome, 0, len(byOwner))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for idx, sVals := range byOwner {
+		// Rotate the owner list so this shard's primary is its assigned
+		// owner and the others are its fallbacks.
+		prefs := make([]string, 0, len(owners))
+		for i := 0; i < len(owners); i++ {
+			prefs = append(prefs, owners[(idx+i)%len(owners)])
+		}
+		wg.Add(1)
+		go func(prefs []string, sVals []int) {
+			defer wg.Done()
+			oc := rt.runShard(ctx, prefs, sVals, base)
+			mu.Lock()
+			outcomes = append(outcomes, oc)
+			mu.Unlock()
+		}(prefs, sVals)
+	}
+	wg.Wait()
+
+	rt.writeMerged(w, start, dataset, kind, measureName, distinct, outcomes)
+}
+
+// attemptResult is one replica attempt's raw outcome.
+type attemptResult struct {
+	replica    string
+	hedge      bool
+	status     int
+	body       []byte
+	retryAfter int
+	err        error
+}
+
+// runShard drives one shard to completion: primary attempt, an optional
+// hedged duplicate after the latency budget, and sequential failover to
+// the remaining owners on retryable failures (transport errors, 429
+// sheds, 404 from an owner that missed the upload). Deterministic
+// failures (200/400/502) and deadline expiry (504) are final — a
+// different replica computes the same answer, so retrying buys nothing.
+func (rt *Router) runShard(ctx context.Context, prefs []string, sVals []int, base map[string]json.RawMessage) shardOutcome {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, len(prefs))
+	tried := make(map[string]bool, len(prefs))
+	inflight := 0
+	launch := func(u string, hedge bool) {
+		tried[u] = true
+		inflight++
+		payload := rt.shardPayload(sctx, base, sVals)
+		go func() { results <- rt.tryReplica(sctx, u, payload, hedge) }()
+	}
+	next := func() string {
+		for _, u := range prefs {
+			if !tried[u] {
+				return u
+			}
+		}
+		return ""
+	}
+
+	launch(prefs[0], false)
+	var hedgeTimer <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 && len(prefs) > 1 {
+		t := time.NewTimer(rt.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+
+	oc := shardOutcome{s: sVals}
+	for {
+		select {
+		case <-ctx.Done():
+			oc.deadline = true
+			oc.status = http.StatusGatewayTimeout
+			oc.errMsg = "deadline exceeded before a replica answered"
+			return oc
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if u := next(); u != "" {
+				rt.metrics.countHedge()
+				launch(u, true)
+			}
+		case res := <-results:
+			inflight--
+			rt.metrics.countSubrequest(attemptOutcome(res))
+			if res.err == nil && res.status != http.StatusTooManyRequests && res.status != http.StatusNotFound {
+				// A usable, deterministic answer (success, per-entry
+				// errors, client error, or deadline): take it.
+				if res.hedge {
+					rt.metrics.countHedgeWin()
+				}
+				return rt.parseShardResponse(res, sVals)
+			}
+			// Retryable: remember the failure shape, try the next owner.
+			if res.err != nil {
+				rt.markFailure(res.replica)
+				oc.errMsg = fmt.Sprintf("replica %s: %v", res.replica, res.err)
+			} else {
+				oc.status = res.status
+				oc.errMsg = fmt.Sprintf("replica %s answered %d", res.replica, res.status)
+				if res.status == http.StatusTooManyRequests {
+					oc.shed = true
+					if res.retryAfter > oc.retryAfter {
+						oc.retryAfter = res.retryAfter
+					}
+				}
+			}
+			if u := next(); u != "" {
+				rt.metrics.countRetry()
+				launch(u, false)
+				continue
+			}
+			if inflight > 0 {
+				continue // a hedge is still racing; it may yet answer
+			}
+			return oc
+		}
+	}
+}
+
+// shardPayload builds one sub-request body: the client's fields pass
+// through verbatim except "s" (this shard's slice of the sweep) and
+// "timeout_ms" (the *remaining* ctx budget at launch time, so the
+// deadline travels with the work instead of resetting per hop).
+func (rt *Router) shardPayload(ctx context.Context, base map[string]json.RawMessage, sVals []int) []byte {
+	sub := make(map[string]json.RawMessage, len(base)+1)
+	for k, v := range base {
+		sub[k] = v
+	}
+	sraw, _ := json.Marshal(sVals)
+	sub["s"] = sraw
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		// Reserve a merge margin so the replica's deadline fires first
+		// and its 504 travels back before the router's own ctx expires
+		// (which would abort the sub-request and lose the verdict). The
+		// floor covers the replica's cancellation-poll overshoot plus a
+		// round-trip; the ceiling keeps long budgets mostly usable.
+		margin := remaining / 10
+		if margin < 40*time.Millisecond {
+			margin = 40 * time.Millisecond
+		} else if margin > 500*time.Millisecond {
+			margin = 500 * time.Millisecond
+		}
+		ms := (remaining - margin).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		sub["timeout_ms"] = json.RawMessage(strconv.FormatInt(ms, 10))
+	}
+	payload, _ := json.Marshal(sub)
+	return payload
+}
+
+// tryReplica issues one sub-request and reads the full answer.
+func (rt *Router) tryReplica(ctx context.Context, u string, payload []byte, hedge bool) attemptResult {
+	res := attemptResult{replica: u, hedge: hedge}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/v2/query", bytes.NewReader(payload))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.status = resp.StatusCode
+	res.body = body
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			res.retryAfter = secs
+		}
+	}
+	return res
+}
+
+// parseShardResponse turns a usable replica answer into a shard
+// outcome, indexing its entries by s.
+func (rt *Router) parseShardResponse(res attemptResult, sVals []int) shardOutcome {
+	oc := shardOutcome{s: sVals, status: res.status}
+	if res.status == http.StatusGatewayTimeout {
+		oc.deadline = true
+	}
+	var parsed struct {
+		replicaHeader
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(res.body, &parsed); err != nil || (res.status != http.StatusOK && res.status != http.StatusBadGateway) {
+		// 4xx/504 bodies are {"error": ...} documents, not entry lists.
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(res.body, &e)
+		oc.errMsg = e.Error
+		if oc.errMsg == "" {
+			oc.errMsg = fmt.Sprintf("replica %s answered %d", res.replica, res.status)
+		}
+		return oc
+	}
+	oc.header = parsed.replicaHeader
+	oc.entries = make(map[int]json.RawMessage, len(parsed.Results))
+	for _, raw := range parsed.Results {
+		var peek struct {
+			S int `json:"s"`
+		}
+		if json.Unmarshal(raw, &peek) == nil {
+			oc.entries[peek.S] = raw
+		}
+	}
+	return oc
+}
+
+// writeMerged assembles the client-facing answer from the shard
+// outcomes: entries in ascending s order (verbatim replica bytes;
+// failed shards synthesize per-s error entries), and the replica
+// status rules re-applied across the merged sweep — partial success is
+// 200, an all-failed sweep reports the dominant failure class (shed
+// beats deadline beats upstream), and Retry-After is the max across
+// shedding owners.
+func (rt *Router) writeMerged(w http.ResponseWriter, start time.Time, dataset, kind, measureName string, distinct []int, outcomes []shardOutcome) {
+	entries := make(map[int]json.RawMessage, len(distinct))
+	var plan json.RawMessage
+	anyOK := false
+	allSameStatus := 0
+	sameStatus := true
+	var shed, deadline bool
+	retryAfter := 0
+	for i, oc := range outcomes {
+		if i == 0 {
+			allSameStatus = oc.status
+		} else if oc.status != allSameStatus {
+			sameStatus = false
+		}
+		if oc.shed {
+			shed = true
+			if oc.retryAfter > retryAfter {
+				retryAfter = oc.retryAfter
+			}
+		}
+		if oc.deadline {
+			deadline = true
+		}
+		if oc.entries != nil {
+			if plan == nil && len(oc.header.Plan) > 0 {
+				plan = oc.header.Plan
+			}
+			for sVal, raw := range oc.entries {
+				entries[sVal] = raw
+			}
+			continue
+		}
+		msg := oc.errMsg
+		if msg == "" {
+			msg = "replica unavailable"
+		}
+		for _, sVal := range oc.s {
+			synth, _ := json.Marshal(map[string]any{"s": sVal, "error": msg, "cached": false})
+			entries[sVal] = synth
+		}
+	}
+
+	results := make([]json.RawMessage, 0, len(distinct))
+	for _, sVal := range distinct {
+		raw, ok := entries[sVal]
+		if !ok {
+			raw, _ = json.Marshal(map[string]any{"s": sVal, "error": "missing from replica answer", "cached": false})
+		}
+		results = append(results, raw)
+		var peek struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &peek) == nil && peek.Error == "" {
+			anyOK = true
+		}
+	}
+
+	status := http.StatusOK
+	if !anyOK && len(results) > 0 {
+		switch {
+		case sameStatus && allSameStatus != 0:
+			status = allSameStatus
+		case shed:
+			status = http.StatusTooManyRequests
+		case deadline:
+			status = http.StatusGatewayTimeout
+		default:
+			status = http.StatusBadGateway
+		}
+		if status == http.StatusTooManyRequests {
+			if retryAfter < 1 {
+				retryAfter = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			rt.metrics.countShed()
+		}
+	}
+
+	resp := struct {
+		Dataset   string            `json:"dataset"`
+		Kind      string            `json:"kind"`
+		Measure   string            `json:"measure,omitempty"`
+		Plan      json.RawMessage   `json:"plan,omitempty"`
+		ElapsedMS float64           `json:"elapsed_ms"`
+		Results   []json.RawMessage `json:"results"`
+	}{
+		Dataset:   dataset,
+		Kind:      kind,
+		Measure:   measureName,
+		Plan:      plan,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Results:   results,
+	}
+	writeJSON(w, status, resp)
+}
+
+// decodeS accepts the two /v2/query spellings of "s": a JSON integer
+// array or an s-list string such as "1,4:8".
+func decodeS(raw json.RawMessage) ([]int, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("cluster: \"s\" is required (an integer array or an s-list string such as \"1,4:8\")")
+	}
+	var spec string
+	if err := json.Unmarshal(raw, &spec); err == nil {
+		return core.ParseSValues(spec)
+	}
+	var vals []int
+	if err := json.Unmarshal(raw, &vals); err != nil {
+		return nil, fmt.Errorf("cluster: bad \"s\" %s", raw)
+	}
+	if err := core.ValidateSValues(vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

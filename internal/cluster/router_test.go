@@ -1,0 +1,576 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperline/internal/gen"
+	"hyperline/internal/hg"
+	"hyperline/internal/loadgen"
+	"hyperline/internal/serve"
+)
+
+// randomAdjacency renders a reproducible hypergraph in adjacency text,
+// the format uploads carry.
+func randomAdjacency(seed int64, edges, vertices, meanSize int) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for e := 0; e < edges; e++ {
+		size := 1 + r.Intn(2*meanSize)
+		seen := map[int]bool{}
+		for k := 0; k < size; k++ {
+			seen[r.Intn(vertices)] = true
+		}
+		first := true
+		for v := 0; v < vertices; v++ {
+			if seen[v] {
+				if !first {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%d", v)
+				first = false
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func paperHG() *hg.Hypergraph {
+	return hg.FromEdgeSlices([][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {4, 5},
+	}, 6)
+}
+
+// realReplica runs a full hyperlined serving stack on an httptest
+// server.
+func realReplica(t *testing.T, svc *serve.Service) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newRouterServer(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt := NewRouter(cfg)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+// postQuery posts one /v2/query body and returns status, headers, and
+// the raw response.
+func postQuery(t *testing.T, base, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v2/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// queryResults decodes the results array of a /v2/query response.
+func queryResults(t *testing.T, data []byte) []json.RawMessage {
+	t.Helper()
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad query response %s: %v", data, err)
+	}
+	return out.Results
+}
+
+// normalizeEntry strips the per-run fields (cache flags, timings) so
+// entries can be compared byte-for-byte across independent processes.
+func normalizeEntry(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("bad entry %s: %v", raw, err)
+	}
+	delete(m, "cached")
+	delete(m, "projection_cached")
+	delete(m, "timings_ms")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestRouterScatterGatherMatchesSingleNode is the tier's ground truth:
+// an upload through the router replicates to every owner, a fanned-out
+// sweep merges to exactly the entries a single node produces —
+// byte-identical once per-run cache flags and timings are stripped —
+// and the merged sweep comes back in ascending s order.
+func TestRouterScatterGatherMatchesSingleNode(t *testing.T) {
+	adj := randomAdjacency(7, 60, 40, 4)
+	repA := realReplica(t, serve.New(serve.Config{}))
+	repB := realReplica(t, serve.New(serve.Config{}))
+	rt, router := newRouterServer(t, Config{Replicas: []string{repA.URL, repB.URL}, Replication: 2})
+	_ = rt
+
+	// Upload through the router: both owners must accept it.
+	req, _ := http.NewRequest(http.MethodPut, router.URL+"/v1/datasets/d?format=adj", strings.NewReader(adj))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		Replicated int `json:"replicated"`
+		Owners     int `json:"owners"`
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &up) != nil || up.Replicated != 2 {
+		t.Fatalf("upload via router: status %d body %s", resp.StatusCode, data)
+	}
+
+	// Single-node reference.
+	single := realReplica(t, serve.New(serve.Config{}))
+	sreq, _ := http.NewRequest(http.MethodPut, single.URL+"/v1/datasets/d?format=adj", strings.NewReader(adj))
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("reference upload: %v %v", err, sresp.Status)
+	}
+	sresp.Body.Close()
+
+	for _, body := range []string{
+		`{"dataset":"d","s":"1:4","edges":true}`,
+		`{"dataset":"d","s":[1,2],"measure":"components"}`,
+	} {
+		status, _, routed := postQuery(t, router.URL, body)
+		if status != http.StatusOK {
+			t.Fatalf("router query %s: status %d: %s", body, status, routed)
+		}
+		sstatus, _, direct := postQuery(t, single.URL, body)
+		if sstatus != http.StatusOK {
+			t.Fatalf("single-node query %s: status %d", body, sstatus)
+		}
+		re := queryResults(t, routed)
+		de := queryResults(t, direct)
+		if len(re) != len(de) || len(re) == 0 {
+			t.Fatalf("%s: %d routed entries vs %d direct", body, len(re), len(de))
+		}
+		lastS := 0
+		for i := range re {
+			var peek struct {
+				S     int    `json:"s"`
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(re[i], &peek); err != nil {
+				t.Fatal(err)
+			}
+			if peek.Error != "" {
+				t.Fatalf("%s: routed entry s=%d failed: %s", body, peek.S, peek.Error)
+			}
+			if peek.S <= lastS {
+				t.Fatalf("%s: merged entries out of order at s=%d", body, peek.S)
+			}
+			lastS = peek.S
+			got, want := normalizeEntry(t, re[i]), normalizeEntry(t, de[i])
+			if got != want {
+				t.Fatalf("%s s=%d: routed answer differs from single node:\n  routed: %s\n  direct: %s", body, peek.S, got, want)
+			}
+		}
+	}
+
+	// The merged dataset listing shows both owners.
+	lresp, err := http.Get(router.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct {
+		Name     string   `json:"name"`
+		Replicas []string `json:"replicas"`
+	}
+	ldata, _ := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if json.Unmarshal(ldata, &list) != nil || len(list) != 1 || list[0].Name != "d" || len(list[0].Replicas) != 2 {
+		t.Fatalf("merged dataset listing: %s", ldata)
+	}
+}
+
+// TestRouterReplicaDownPartialSuccess: one owner is down mid-fan-out
+// and the survivor sheds the failed-over shard — the router must answer
+// 200 with per-entry errors for the dead shard and intact entries for
+// the rest, exactly like a replica's own partial-failure contract.
+func TestRouterReplicaDownPartialSuccess(t *testing.T) {
+	// Replica A is down (connection refused). Replica B serves only its
+	// own shard and sheds anything failed over to it, so the A-shard
+	// exhausts its owners deterministically.
+	svcB := serve.New(serve.Config{})
+	svcB.Add("paper", paperHG())
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	down.Close()
+
+	var bShard []int
+	inner := serve.NewHandler(svcB)
+	guard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/query" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		var req struct {
+			S []int `json:"s"`
+		}
+		json.Unmarshal(body, &req)
+		mine := len(req.S) == len(bShard)
+		for i := range req.S {
+			if mine && req.S[i] != bShard[i] {
+				mine = false
+			}
+		}
+		if !mine {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"saturated"}`))
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(guard.Close)
+
+	// Shard assignment mirrors the router: s mod |owners| indexes the
+	// ring-ordered owner list.
+	ownerList := NewRing([]string{down.URL, guard.URL}).Owners("paper", 2)
+	var aShard []int
+	for s := 1; s <= 2; s++ {
+		if ownerList[s%2] == guard.URL {
+			bShard = append(bShard, s)
+		} else {
+			aShard = append(aShard, s)
+		}
+	}
+	if len(aShard) == 0 || len(bShard) == 0 {
+		t.Fatalf("degenerate shard split: aShard=%v bShard=%v", aShard, bShard)
+	}
+
+	_, router := newRouterServer(t, Config{Replicas: []string{down.URL, guard.URL}, Replication: 2})
+	status, hdr, data := postQuery(t, router.URL, `{"dataset":"paper","s":[1,2]}`)
+	if status != http.StatusOK {
+		t.Fatalf("partial success must stay 200, got %d: %s", status, data)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		t.Fatalf("partial success must not carry Retry-After, got %q", ra)
+	}
+	results := queryResults(t, data)
+	if len(results) != 2 {
+		t.Fatalf("want 2 merged entries, got %s", data)
+	}
+	failed := map[int]bool{}
+	for _, s := range aShard {
+		failed[s] = true
+	}
+	for _, raw := range results {
+		var e struct {
+			S     int    `json:"s"`
+			Error string `json:"error"`
+			Nodes int    `json:"nodes"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatal(err)
+		}
+		if failed[e.S] && e.Error == "" {
+			t.Fatalf("s=%d rode a dead replica yet reports success: %s", e.S, raw)
+		}
+		if !failed[e.S] && e.Error != "" {
+			t.Fatalf("s=%d owned by the live replica failed: %s", e.S, e.Error)
+		}
+	}
+	// The failover is visible in the router's own counters.
+	m := routerMetrics(t, router.URL)
+	if m[`hyperrouter_retries_total`] < 1 {
+		t.Fatalf("no failover retry recorded: %v", m)
+	}
+}
+
+// TestRouterAllOwnersShedTranslates429: when every owner sheds, the
+// router answers a single 429 carrying the *largest* Retry-After any
+// owner advertised — the client backs off once, conservatively.
+func TestRouterAllOwnersShedTranslates429(t *testing.T) {
+	shedder := func(retryAfter string) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", retryAfter)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"saturated"}`))
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := shedder("3"), shedder("7")
+	_, router := newRouterServer(t, Config{Replicas: []string{a.URL, b.URL}, Replication: 2})
+
+	status, hdr, data := postQuery(t, router.URL, `{"dataset":"paper","s":[1,2]}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("all-owners-shed must answer 429, got %d: %s", status, data)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After %q, want the max across owners (7)", ra)
+	}
+	m := routerMetrics(t, router.URL)
+	if m[`hyperrouter_shed_total`] != 1 {
+		t.Fatalf("router shed counter: %v", m)
+	}
+	if m[`hyperrouter_subrequests_total{outcome="shed"}`] < 2 {
+		t.Fatalf("expected shed sub-requests against both owners: %v", m)
+	}
+}
+
+// TestRouterDeadlinePropagatesToReplica is the acceptance contract for
+// deadline propagation: a short client timeout_ms expires *on the
+// replica* (which answers 504 under its forwarded budget) and the
+// router returns promptly — it never hangs waiting out a query the
+// deadline already killed.
+func TestRouterDeadlinePropagatesToReplica(t *testing.T) {
+	svc := serve.New(serve.Config{})
+	// ~900ms of Stage-3 work per s on one core — far past the budget.
+	svc.Add("slow", gen.Community(gen.CommunityConfig{
+		Seed: 31, NumVertices: 4000, NumCommunities: 70,
+		MeanCommunitySize: 45, EdgesPerCommunity: 50, Background: 1000,
+	}))
+	rep := realReplica(t, svc)
+	_, router := newRouterServer(t, Config{Replicas: []string{rep.URL}, Replication: 1})
+
+	timeoutMS, hangAfter := 300, 3*time.Second
+	if raceEnabled {
+		// Race instrumentation slows the pipeline's cancellation polls;
+		// widen the budget so the replica still answers inside its margin.
+		timeoutMS, hangAfter = 3000, 15*time.Second
+	}
+	t0 := time.Now()
+	status, _, data := postQuery(t, router.URL,
+		fmt.Sprintf(`{"dataset":"slow","s":[1],"timeout_ms":%d}`, timeoutMS))
+	elapsed := time.Since(t0)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expired query must answer 504, got %d: %s", status, data)
+	}
+	if elapsed > hangAfter {
+		t.Fatalf("router took %v to surface a %dms deadline — it hung", elapsed, timeoutMS)
+	}
+	// The deadline fired replica-side: the router observed a 504
+	// *response*, not a dead connection (outcome would be "error") and
+	// not its own context expiry (no sub-request outcome at all).
+	m := routerMetrics(t, router.URL)
+	if m[`hyperrouter_subrequests_total{outcome="deadline"}`] < 1 {
+		t.Fatalf("no replica-side 504 observed — the deadline did not travel: %v", m)
+	}
+	// The router is alive and serving after the expiry.
+	resp, err := http.Get(router.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("router unhealthy after deadline expiry: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestRouterReplicaRestartMidSweep: a replica restarting between the
+// entries of one sweep must cost nothing visible — queries during the
+// outage fail over to the surviving owner, queries after the restart
+// may land on the fresh process, and every answer stays byte-identical
+// to the pre-restart ones.
+func TestRouterReplicaRestartMidSweep(t *testing.T) {
+	svcA := serve.New(serve.Config{})
+	svcA.Add("paper", paperHG())
+	repA := realReplica(t, svcA)
+
+	svcB := serve.New(serve.Config{})
+	svcB.Add("paper", paperHG())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := ln.Addr().String()
+	srvB := &http.Server{Handler: serve.NewHandler(svcB)}
+	go srvB.Serve(ln)
+
+	rt, router := newRouterServer(t, Config{Replicas: []string{repA.URL, "http://" + addrB}, Replication: 2})
+
+	query := func(s int) string {
+		status, _, data := postQuery(t, router.URL, fmt.Sprintf(`{"dataset":"paper","s":[%d]}`, s))
+		if status != http.StatusOK {
+			t.Fatalf("s=%d: status %d mid-restart: %s", s, status, data)
+		}
+		results := queryResults(t, data)
+		if len(results) != 1 {
+			t.Fatalf("s=%d: %d entries", s, len(results))
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(results[0], &e)
+		if e.Error != "" {
+			t.Fatalf("s=%d failed across the restart: %s", s, e.Error)
+		}
+		return normalizeEntry(t, results[0])
+	}
+
+	before := map[int]string{}
+	for s := 1; s <= 4; s++ {
+		before[s] = query(s)
+	}
+
+	// Restart replica B between entries: same address, fresh process
+	// state, same dataset bytes.
+	srvB.Close()
+	for s := 1; s <= 2; s++ {
+		if got := query(s); got != before[s] {
+			t.Fatalf("s=%d: answer changed while B was down:\n  was %s\n  now %s", s, before[s], got)
+		}
+	}
+	svcB2 := serve.New(serve.Config{})
+	svcB2.Add("paper", paperHG())
+	var ln2 net.Listener
+	for i := 0; i < 200; i++ {
+		ln2, err = net.Listen("tcp", addrB)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addrB, err)
+	}
+	srvB2 := &http.Server{Handler: serve.NewHandler(svcB2)}
+	go srvB2.Serve(ln2)
+	t.Cleanup(func() { srvB2.Close() })
+	rt.CheckHealth(context.Background()) // readmit the restarted replica
+
+	for s := 1; s <= 4; s++ {
+		if got := query(s); got != before[s] {
+			t.Fatalf("s=%d: answer changed across B's restart:\n  was %s\n  now %s", s, before[s], got)
+		}
+	}
+}
+
+// TestRouterHedgesSlowShard: a shard that dawdles past -hedge-after is
+// raced against the next owner; the faster answer wins and is recorded
+// as a hedge win.
+func TestRouterHedgesSlowShard(t *testing.T) {
+	stub := func(delay time.Duration, nodes int) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				S []int `json:"s"`
+			}
+			json.NewDecoder(r.Body).Decode(&req)
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+			entries := make([]map[string]any, len(req.S))
+			for i, s := range req.S {
+				entries[i] = map[string]any{"s": s, "cached": false, "nodes": nodes, "edges": 1}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"dataset": "d", "kind": "line", "results": entries})
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	slow := stub(2*time.Second, 111)
+	fast := stub(0, 222)
+
+	// Pick the s whose primary is the slow stub, so the hedge (not the
+	// primary) must deliver the answer.
+	ownerList := NewRing([]string{slow.URL, fast.URL}).Owners("d", 2)
+	sVal := 1
+	for s := 1; s <= 2; s++ {
+		if ownerList[s%2] == slow.URL {
+			sVal = s
+		}
+	}
+
+	_, router := newRouterServer(t, Config{
+		Replicas: []string{slow.URL, fast.URL}, Replication: 2, HedgeAfter: 50 * time.Millisecond,
+	})
+	t0 := time.Now()
+	status, _, data := postQuery(t, router.URL, fmt.Sprintf(`{"dataset":"d","s":[%d]}`, sVal))
+	elapsed := time.Since(t0)
+	if status != http.StatusOK {
+		t.Fatalf("hedged query: status %d: %s", status, data)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedge did not rescue the slow shard: took %v", elapsed)
+	}
+	var e struct {
+		Nodes int `json:"nodes"`
+	}
+	json.Unmarshal(queryResults(t, data)[0], &e)
+	if e.Nodes != 222 {
+		t.Fatalf("answer came from the slow replica (nodes=%d), want the hedge's (222)", e.Nodes)
+	}
+	m := routerMetrics(t, router.URL)
+	if m[`hyperrouter_hedges_total`] < 1 || m[`hyperrouter_hedge_wins_total`] < 1 {
+		t.Fatalf("hedge counters did not move: %v", m)
+	}
+}
+
+// TestRouterSelfRegistration: a replica POSTing its URL joins the map
+// and starts owning datasets; garbage URLs are rejected.
+func TestRouterSelfRegistration(t *testing.T) {
+	svc := serve.New(serve.Config{})
+	svc.Add("paper", paperHG())
+	rep := realReplica(t, svc)
+	_, router := newRouterServer(t, Config{Replication: 1})
+
+	// No members yet: queries have nowhere to go.
+	status, _, _ := postQuery(t, router.URL, `{"dataset":"paper","s":[1]}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("empty cluster must answer 503, got %d", status)
+	}
+
+	reg, err := http.Post(router.URL+"/v1/replicas", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"url":%q}`, rep.URL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Body.Close()
+	if reg.StatusCode != http.StatusOK {
+		t.Fatalf("registration: status %d", reg.StatusCode)
+	}
+	status, _, data := postQuery(t, router.URL, `{"dataset":"paper","s":[1]}`)
+	if status != http.StatusOK {
+		t.Fatalf("query after registration: status %d: %s", status, data)
+	}
+
+	bad, err := http.Post(router.URL+"/v1/replicas", "application/json",
+		strings.NewReader(`{"url":"not a url"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage registration: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// routerMetrics scrapes and parses the router's /metrics.
+func routerMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	m, err := loadgen.FetchMetrics(context.Background(), nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

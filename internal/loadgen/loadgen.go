@@ -48,6 +48,13 @@ var DefaultMix = Mix{Sweep: 8, Measure: 3, Upload: 1}
 type Config struct {
 	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets optionally lists several bases (replicas, or routers in
+	// front of them) to spread arrivals over round-robin. The first-seen
+	// consistency map is shared across targets, so a divergent answer
+	// *between* nodes counts as a mismatch exactly like one within a
+	// node — the cross-replica consistency check of a multi-node run.
+	// Empty = single-target mode against BaseURL.
+	Targets []string
 	// Dataset is the registered dataset name queries target.
 	Dataset string
 	// UploadBody is the adjacency-format dataset payload for upload
@@ -166,26 +173,33 @@ func (st *runState) observe(key string, obs Observation) {
 	st.mu.Unlock()
 }
 
-// Prime uploads cfg.UploadBody as the target dataset, so a run can
-// start against a fresh server.
+// Prime uploads cfg.UploadBody as the target dataset — to every target
+// in multi-node mode, so each node can serve it — letting a run start
+// against fresh servers.
 func Prime(ctx context.Context, cfg Config) error {
 	if len(cfg.UploadBody) == 0 {
 		return errors.New("loadgen: Prime needs an UploadBody")
 	}
 	client := cfg.client()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
-		cfg.BaseURL+"/v1/datasets/"+cfg.Dataset+"?format=adj", bytes.NewReader(cfg.UploadBody))
-	if err != nil {
-		return err
+	bases := cfg.Targets
+	if len(bases) == 0 {
+		bases = []string{cfg.BaseURL}
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loadgen: prime upload: status %d: %s", resp.StatusCode, body)
+	for _, base := range bases {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			strings.TrimRight(base, "/")+"/v1/datasets/"+cfg.Dataset+"?format=adj", bytes.NewReader(cfg.UploadBody))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: prime upload to %s: status %d: %s", base, resp.StatusCode, body)
+		}
 	}
 	return nil
 }
@@ -199,8 +213,14 @@ func (cfg *Config) client() *http.Client {
 
 // withDefaults resolves the zero values.
 func (cfg Config) withDefaults() (Config, error) {
+	for i, t := range cfg.Targets {
+		cfg.Targets[i] = strings.TrimRight(t, "/")
+	}
+	if cfg.BaseURL == "" && len(cfg.Targets) > 0 {
+		cfg.BaseURL = cfg.Targets[0]
+	}
 	if cfg.BaseURL == "" || cfg.Dataset == "" {
-		return cfg, errors.New("loadgen: BaseURL and Dataset are required")
+		return cfg, errors.New("loadgen: BaseURL (or Targets) and Dataset are required")
 	}
 	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
 	if cfg.Rate <= 0 {
@@ -280,12 +300,18 @@ arrivals:
 				continue
 			}
 			st.rep.Sent++
+			// Round-robin the target on the scheduling goroutine so the
+			// (arrival, target) pairing is reproducible under Seed.
+			base := cfg.BaseURL
+			if len(cfg.Targets) > 0 {
+				base = cfg.Targets[(st.rep.Sent-1)%int64(len(cfg.Targets))]
+			}
 			kind, body, key := cfg.draw(rng)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				cfg.issue(client, st, kind, body, key)
+				cfg.issue(client, st, base, kind, body, key)
 			}()
 		}
 	}
@@ -338,18 +364,18 @@ type v2Entry struct {
 	Value json.RawMessage `json:"value,omitempty"`
 }
 
-// issue sends one request and records its outcome.
-func (cfg *Config) issue(client *http.Client, st *runState, kind reqKind, body []byte, key string) {
+// issue sends one request to base and records its outcome.
+func (cfg *Config) issue(client *http.Client, st *runState, base string, kind reqKind, body []byte, key string) {
 	rctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
 	var req *http.Request
 	var err error
 	if kind == reqUpload {
 		req, err = http.NewRequestWithContext(rctx, http.MethodPut,
-			cfg.BaseURL+"/v1/datasets/"+cfg.Dataset+"?format=adj", bytes.NewReader(body))
+			base+"/v1/datasets/"+cfg.Dataset+"?format=adj", bytes.NewReader(body))
 	} else {
 		req, err = http.NewRequestWithContext(rctx, http.MethodPost,
-			cfg.BaseURL+"/v2/query", bytes.NewReader(body))
+			base+"/v2/query", bytes.NewReader(body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
 		}

@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"context"
 	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -64,6 +67,56 @@ func TestV2QueryPartialFailureStays200(t *testing.T) {
 	}
 	if ok == 0 || failed == 0 {
 		t.Fatalf("want a mixed outcome, got %+v", results)
+	}
+}
+
+// TestQuotaShedCarriesRetryAfter pins that a per-dataset quota shed
+// (-max-inflight-per-dataset) answers 429 *with* a Retry-After header,
+// exactly like a global admission shed — clients and the router key
+// their backoff off that header, so a bare 429 on the quota path would
+// silently defeat it.
+func TestQuotaShedCarriesRetryAfter(t *testing.T) {
+	svc := New(Config{MaxInflightPerDataset: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	uploadPaper(t, ts)
+
+	// Occupy the dataset's single admission slot so the next request
+	// sheds on the per-dataset quota, not the global budget.
+	release, err := svc.adm.Acquire(context.Background(), PriorityInteractive, "paper", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	for _, probe := range []struct {
+		method, url, body string
+	}{
+		{http.MethodGet, ts.URL + "/v1/datasets/paper/slinegraph?s=2", ""},
+		{http.MethodPost, ts.URL + "/v2/query", `{"dataset":"paper","s":[2]}`},
+	} {
+		req, err := http.NewRequest(probe.method, probe.url, strings.NewReader(probe.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s %s: status %d, want 429", probe.method, probe.url, resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("%s %s: quota shed returned a bare 429 without Retry-After", probe.method, probe.url)
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("%s %s: Retry-After %q, want whole seconds >= 1", probe.method, probe.url, ra)
+		}
+	}
+	if st := svc.adm.Stats(); st.ShedPerDataset == 0 {
+		t.Fatalf("probes did not exercise the per-dataset quota path: %+v", st)
 	}
 }
 

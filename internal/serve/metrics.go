@@ -91,11 +91,12 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the response-code counter. Scrapes of
-// /metrics itself are not counted, so the response counters reconcile
-// exactly with the traffic a load generator sent.
+// /metrics and /healthz probes (routers poll replica health) are not
+// counted, so the response counters reconcile exactly with the traffic
+// a load generator or router sent.
 func (m *metrics) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/metrics" {
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
 			h.ServeHTTP(w, r)
 			return
 		}

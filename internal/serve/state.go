@@ -5,8 +5,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"hyperline/internal/hg"
 	"hyperline/internal/hgio"
@@ -141,7 +143,15 @@ func saveBinaryAtomic(dir, path string, h *hg.Hypergraph) error {
 // cache keys minted before the restart remain valid and spilled entries
 // hit. A missing manifest is a cold start, not an error. Returns the
 // restored dataset names.
+//
+// Restore is resilient to a crash mid-snapshot: stray tmp files from an
+// interrupted save are swept, and a corrupt or truncated dataset file
+// only costs that one dataset (skipped with a log line — a -load flag or
+// re-upload re-registers it cold) rather than aborting the whole boot.
+// Likewise a manifest that no longer parses degrades to a cold start.
 func (s *Service) RestoreState(dir string) ([]string, error) {
+	sweepStateTmp(dir)
+	sweepStateTmp(filepath.Join(dir, stateDatasetsDir))
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -151,7 +161,8 @@ func (s *Service) RestoreState(dir string) ([]string, error) {
 	}
 	var m stateManifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("serve: parsing manifest: %w", err)
+		log.Printf("serve: state manifest in %s is corrupt (%v); starting cold", dir, err)
+		return nil, nil
 	}
 	if m.FormatVersion != 1 {
 		return nil, fmt.Errorf("serve: unsupported state format %d", m.FormatVersion)
@@ -160,13 +171,29 @@ func (s *Service) RestoreState(dir string) ([]string, error) {
 	for _, d := range m.Datasets {
 		h, err := hgio.MapBinary(filepath.Join(dir, d.File))
 		if err != nil {
-			return names, fmt.Errorf("serve: restoring dataset %q: %w", d.Name, err)
+			log.Printf("serve: skipping dataset %q during restore: %v", d.Name, err)
+			continue
 		}
 		s.reg.addRestored(d.Name, h, d.Version)
 		names = append(names, d.Name)
 	}
 	s.reg.bumpNextVersion(m.NextVersion)
 	return names, nil
+}
+
+// sweepStateTmp removes in-progress tmp files a crash mid-SaveState can
+// strand next to the manifest and dataset files. Missing directories
+// and remove races are ignored — the sweep is best-effort hygiene.
+func sweepStateTmp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range entries {
+		if !de.IsDir() && strings.HasPrefix(de.Name(), spillTmpPrefix) {
+			os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
 }
 
 // Close releases out-of-heap resources deterministically: every mapped
