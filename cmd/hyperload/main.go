@@ -11,7 +11,7 @@
 //	hyperload -url http://localhost:8080 -dataset web [-data web.hgr]
 //	          [-targets http://a:8080,http://b:8080]
 //	          [-duration 30s] [-rate 200] [-smax 4] [-measure components]
-//	          [-mix 8,3,1] [-max-outstanding 512] [-timeout 30s]
+//	          [-mix 8,3,1] [-mix 16,3,0,1] [-max-outstanding 512] [-timeout 30s]
 //	          [-seed 1] [-priority interactive] [-label run1] [-o out.json]
 //
 // -targets switches to multi-node mode: arrivals round-robin across the
@@ -20,9 +20,14 @@
 // nodes answering the same question differently counts as a mismatch,
 // which is the cross-replica consistency check of a distributed run.
 //
-// -mix weighs sweep,measure,upload traffic (upload needs -data; the
-// dataset body is re-PUT verbatim, so versions churn but answers must
-// not). With -data the dataset is uploaded before the run starts, so
+// -mix weighs sweep,measure,upload traffic, with an optional fourth
+// ingest weight (upload needs -data; the dataset body is re-PUT
+// verbatim, so versions churn but answers must not). Ingest traffic
+// POSTs seeded insert-only deltas to /v2/ingest: every delta bumps the
+// dataset version, and the consistency check is version-aware — two
+// answers must agree only when pinned to the same version, so streaming
+// churn and answer stability are exercised together. With -data the
+// dataset is uploaded before the run starts, so
 // hyperload can target a freshly started server. -o writes the report
 // in cmd/benchjson's schema (latency quantiles as ns/op entries), ready
 // to land in the repo's BENCH_<n>.json series.
@@ -48,12 +53,14 @@ import (
 	"hyperline/internal/loadgen"
 )
 
+// parseMix accepts sweep,measure,upload weights with an optional
+// fourth ingest weight (omitted = 0, the pre-streaming spelling).
 func parseMix(v string) (loadgen.Mix, error) {
 	parts := strings.Split(v, ",")
-	if len(parts) != 3 {
-		return loadgen.Mix{}, fmt.Errorf("want sweep,measure,upload weights, got %q", v)
+	if len(parts) != 3 && len(parts) != 4 {
+		return loadgen.Mix{}, fmt.Errorf("want sweep,measure,upload[,ingest] weights, got %q", v)
 	}
-	var w [3]float64
+	var w [4]float64
 	for i, p := range parts {
 		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil || f < 0 {
@@ -61,7 +68,7 @@ func parseMix(v string) (loadgen.Mix, error) {
 		}
 		w[i] = f
 	}
-	return loadgen.Mix{Sweep: w[0], Measure: w[1], Upload: w[2]}, nil
+	return loadgen.Mix{Sweep: w[0], Measure: w[1], Upload: w[2], Ingest: w[3]}, nil
 }
 
 func main() {
@@ -73,7 +80,7 @@ func main() {
 	rate := flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
 	smax := flag.Int("smax", 4, "upper bound of drawn s values")
 	measureName := flag.String("measure", "components", "measure for measure traffic")
-	mixFlag := flag.String("mix", "8,3,1", "traffic mix as sweep,measure,upload weights")
+	mixFlag := flag.String("mix", "8,3,1", "traffic mix as sweep,measure,upload[,ingest] weights")
 	maxOut := flag.Int("max-outstanding", 512, "client-side in-flight cap; arrivals past it are dropped")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "seed for the arrival draw sequence")

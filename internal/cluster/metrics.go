@@ -57,6 +57,7 @@ type rmetrics struct {
 	subrequests map[string]int64
 	queries     int64
 	shards      int64
+	ingests     int64
 	hedges      int64
 	hedgeWins   int64
 	retries     int64
@@ -78,6 +79,8 @@ func (m *rmetrics) countSubrequest(outcome string) {
 	m.subrequests[outcome]++
 	m.mu.Unlock()
 }
+
+func (m *rmetrics) countIngest() { m.mu.Lock(); m.ingests++; m.mu.Unlock() }
 
 func (m *rmetrics) countHedge()    { m.mu.Lock(); m.hedges++; m.mu.Unlock() }
 func (m *rmetrics) countHedgeWin() { m.mu.Lock(); m.hedgeWins++; m.mu.Unlock() }
@@ -149,6 +152,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.value("hyperrouter_queries_total", "", float64(m.queries))
 	mw.header("hyperrouter_fanout_shards_total", "shards dispatched across all queries", "counter")
 	mw.value("hyperrouter_fanout_shards_total", "", float64(m.shards))
+	mw.header("hyperrouter_ingests_total", "fanned-out /v2/ingest requests", "counter")
+	mw.value("hyperrouter_ingests_total", "", float64(m.ingests))
 	mw.header("hyperrouter_hedges_total", "hedged duplicate sub-requests issued", "counter")
 	mw.value("hyperrouter_hedges_total", "", float64(m.hedges))
 	mw.header("hyperrouter_hedge_wins_total", "hedged sub-requests whose answer was used", "counter")

@@ -68,6 +68,10 @@ type Router struct {
 	mu       sync.Mutex
 	replicas map[string]*replica
 	ring     *Ring
+	// writeLocks serializes mutating fan-outs (upload, ingest) per
+	// dataset: two concurrent deltas applied in different orders on
+	// different owners would diverge their versions permanently.
+	writeLocks map[string]*sync.Mutex
 
 	metrics rmetrics
 }
@@ -145,6 +149,25 @@ func (rt *Router) markSuccess(u string) {
 		rep.healthy = true
 		rep.lastSeen = time.Now()
 	}
+}
+
+// lockDataset takes the dataset's write lock, creating it on first
+// use, and returns the unlock. Lock objects are never removed: the map
+// grows with the distinct datasets ever written through this router,
+// which is bounded by the same cardinality the replicas hold in RAM.
+func (rt *Router) lockDataset(name string) func() {
+	rt.mu.Lock()
+	if rt.writeLocks == nil {
+		rt.writeLocks = make(map[string]*sync.Mutex)
+	}
+	l, ok := rt.writeLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		rt.writeLocks[name] = l
+	}
+	rt.mu.Unlock()
+	l.Lock()
+	return l.Unlock
 }
 
 // register adds (or refreshes) a self-registered replica.
@@ -230,8 +253,9 @@ func (rt *Router) Run(ctx context.Context) {
 
 // Handler returns the router's HTTP surface. It intentionally mirrors
 // the slice of the hyperlined API a client needs — health, dataset
-// upload/list, and /v2/query — so hyperload (and curl scripts) work
-// against a router or a single replica interchangeably.
+// upload/list, /v2/query, /v2/ingest, and the change feed — so
+// hyperload (and curl scripts) work against a router or a single
+// replica interchangeably.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +268,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", rt.handleListDatasets)
 	mux.HandleFunc("PUT /v1/datasets/{name}", rt.handleUpload)
 	mux.HandleFunc("POST /v2/query", rt.handleQuery)
+	mux.HandleFunc("POST /v2/ingest", rt.handleIngest)
+	mux.HandleFunc("GET /v2/datasets/{name}/changes", rt.handleChanges)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	return rt.metrics.instrument(mux)
 }
@@ -331,6 +357,8 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no replicas registered"))
 		return
 	}
+	unlock := rt.lockDataset(name)
+	defer unlock()
 	target := "/v1/datasets/" + url.PathEscape(name)
 	if q := r.URL.RawQuery; q != "" {
 		target += "?" + q
@@ -372,6 +400,140 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "replicated": replicated, "owners": len(owners)})
 }
 
+// handleIngest replicates a streaming delta to every owner of its
+// dataset, serialized against other writes by the dataset's write
+// lock (so concurrent deltas apply in the same order everywhere and
+// the owners' version counters advance in lockstep). Upload tolerates
+// partial success — any owner with the bytes keeps the data available
+// — but a delta that misses an owner silently diverges that replica's
+// answers for every later query, so ingest succeeds only when every
+// owner applied it; per-owner outcomes are reported either way, and a
+// unanimous 409 (stale base_version) passes through as a 409.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: reading ingest body: %w", err))
+		return
+	}
+	var peek struct {
+		Dataset string `json:"dataset"`
+	}
+	if json.Unmarshal(body, &peek) != nil || peek.Dataset == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: ingest body must be JSON with a \"dataset\""))
+		return
+	}
+	owners, _ := rt.owners(peek.Dataset)
+	if len(owners) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no replicas registered"))
+		return
+	}
+	rt.metrics.countIngest()
+	unlock := rt.lockDataset(peek.Dataset)
+	defer unlock()
+
+	type ownerOutcome struct {
+		Replica string `json:"replica"`
+		Status  int    `json:"status"`
+		Version uint64 `json:"version,omitempty"`
+		Error   string `json:"error,omitempty"`
+	}
+	outs := make([]ownerOutcome, len(owners))
+	var wg sync.WaitGroup
+	for i, u := range owners {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			outs[i] = ownerOutcome{Replica: u}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u+"/v2/ingest", bytes.NewReader(body))
+			if err != nil {
+				outs[i].Error = err.Error()
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.markFailure(u)
+				rt.metrics.countSubrequest(outcomeError)
+				outs[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			rt.markSuccess(u)
+			rt.metrics.countSubrequest(outcomeOf(resp.StatusCode))
+			outs[i].Status = resp.StatusCode
+			var parsed struct {
+				Version uint64 `json:"version"`
+				Error   string `json:"error"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&parsed) == nil {
+				outs[i].Version = parsed.Version
+				outs[i].Error = parsed.Error
+			}
+		}(i, u)
+	}
+	wg.Wait()
+
+	applied := 0
+	all409 := true
+	for _, oc := range outs {
+		if oc.Status == http.StatusOK {
+			applied++
+		}
+		if oc.Status != http.StatusConflict {
+			all409 = false
+		}
+	}
+	status := http.StatusBadGateway
+	switch {
+	case applied == len(owners):
+		status = http.StatusOK
+	case all409:
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]any{
+		"dataset": peek.Dataset,
+		"applied": applied,
+		"owners":  len(owners),
+		"results": outs,
+	})
+}
+
+// handleChanges proxies the change feed to the dataset's first healthy
+// owner: all owners see the same delta sequence (ingest fans out to
+// every owner under the write lock), so any one owner's feed is the
+// dataset's feed.
+func (rt *Router) handleChanges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	_, healthy := rt.owners(name)
+	if len(healthy) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no healthy replica owns dataset %q", name))
+		return
+	}
+	u := healthy[0]
+	target := u + "/v2/datasets/" + url.PathEscape(name) + "/changes"
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markFailure(u)
+		rt.metrics.countSubrequest(outcomeError)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: replica %s: %w", u, err))
+		return
+	}
+	defer resp.Body.Close()
+	rt.markSuccess(u)
+	rt.metrics.countSubrequest(outcomeOf(resp.StatusCode))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
 // shardOutcome is one shard's contribution to the merged response.
 type shardOutcome struct {
 	s       []int
@@ -388,6 +550,7 @@ type shardOutcome struct {
 // replicaHeader is the non-entry portion of a replica /v2/query answer.
 type replicaHeader struct {
 	Dataset string          `json:"dataset"`
+	Version uint64          `json:"version"`
 	Kind    string          `json:"kind"`
 	Measure string          `json:"measure,omitempty"`
 	Plan    json.RawMessage `json:"plan,omitempty"`
@@ -701,6 +864,13 @@ func (rt *Router) parseShardResponse(res attemptResult, sVals []int) shardOutcom
 func (rt *Router) writeMerged(w http.ResponseWriter, start time.Time, dataset, kind, measureName string, distinct []int, outcomes []shardOutcome) {
 	entries := make(map[int]json.RawMessage, len(distinct))
 	var plan json.RawMessage
+	// Version is reported only when every answering shard was pinned to
+	// the same dataset version; a mixed sweep (a delta landed between
+	// shard arrivals on different owners) is flagged instead, so
+	// streaming clients know not to treat the merged entries as one
+	// consistent snapshot.
+	var version uint64
+	versionSet, versionMixed := false, false
 	anyOK := false
 	allSameStatus := 0
 	sameStatus := true
@@ -724,6 +894,14 @@ func (rt *Router) writeMerged(w http.ResponseWriter, start time.Time, dataset, k
 		if oc.entries != nil {
 			if plan == nil && len(oc.header.Plan) > 0 {
 				plan = oc.header.Plan
+			}
+			if oc.header.Version > 0 {
+				switch {
+				case !versionSet:
+					version, versionSet = oc.header.Version, true
+				case version != oc.header.Version:
+					versionMixed = true
+				}
 			}
 			for sVal, raw := range oc.entries {
 				entries[sVal] = raw
@@ -777,12 +955,14 @@ func (rt *Router) writeMerged(w http.ResponseWriter, start time.Time, dataset, k
 	}
 
 	resp := struct {
-		Dataset   string            `json:"dataset"`
-		Kind      string            `json:"kind"`
-		Measure   string            `json:"measure,omitempty"`
-		Plan      json.RawMessage   `json:"plan,omitempty"`
-		ElapsedMS float64           `json:"elapsed_ms"`
-		Results   []json.RawMessage `json:"results"`
+		Dataset      string            `json:"dataset"`
+		Version      uint64            `json:"version,omitempty"`
+		VersionMixed bool              `json:"version_mixed,omitempty"`
+		Kind         string            `json:"kind"`
+		Measure      string            `json:"measure,omitempty"`
+		Plan         json.RawMessage   `json:"plan,omitempty"`
+		ElapsedMS    float64           `json:"elapsed_ms"`
+		Results      []json.RawMessage `json:"results"`
 	}{
 		Dataset:   dataset,
 		Kind:      kind,
@@ -791,6 +971,10 @@ func (rt *Router) writeMerged(w http.ResponseWriter, start time.Time, dataset, k
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Results:   results,
 	}
+	if versionSet && !versionMixed {
+		resp.Version = version
+	}
+	resp.VersionMixed = versionMixed
 	writeJSON(w, status, resp)
 }
 

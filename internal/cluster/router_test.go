@@ -574,3 +574,215 @@ func routerMetrics(t *testing.T, base string) map[string]float64 {
 	}
 	return m
 }
+
+// putViaRouter uploads an adjacency body through the router and fails
+// the test unless every owner accepted it.
+func putViaRouter(t *testing.T, router, name, adj string, wantOwners int) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPut, router+"/v1/datasets/"+name+"?format=adj", strings.NewReader(adj))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var up struct {
+		Replicated int `json:"replicated"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &up) != nil || up.Replicated != wantOwners {
+		t.Fatalf("upload via router: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// postIngest posts one /v2/ingest body and returns status plus the
+// decoded fan-out summary.
+func postIngest(t *testing.T, base, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v2/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad ingest response %s: %v", data, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestRouterIngestFanOut: a delta through the router lands on every
+// owner (success requires ALL of them — a replica that misses a delta
+// diverges permanently, unlike an upload which can be re-PUT), and a
+// routed query afterwards reports one unmixed version.
+func TestRouterIngestFanOut(t *testing.T) {
+	adj := "0 1 2\n1 2 3\n0 1 2 3 4\n4 5\n"
+	svcA, svcB := serve.New(serve.Config{}), serve.New(serve.Config{})
+	repA, repB := realReplica(t, svcA), realReplica(t, svcB)
+	_, router := newRouterServer(t, Config{Replicas: []string{repA.URL, repB.URL}, Replication: 2})
+	putViaRouter(t, router.URL, "d", adj, 2)
+
+	status, out := postIngest(t, router.URL, `{"dataset": "d", "inserts": [[4, 5]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest fan-out: status %d body %v", status, out)
+	}
+	if out["applied"].(float64) != 2 || out["owners"].(float64) != 2 {
+		t.Fatalf("applied/owners = %v/%v, want 2/2", out["applied"], out["owners"])
+	}
+
+	// Both replicas really advanced: direct sweeps answer at version 2.
+	for _, rep := range []*httptest.Server{repA, repB} {
+		st, _, data := postQuery(t, rep.URL, `{"dataset": "d", "s": [1, 2]}`)
+		var vr struct {
+			Version uint64 `json:"version"`
+		}
+		if st != http.StatusOK || json.Unmarshal(data, &vr) != nil || vr.Version != 2 {
+			t.Fatalf("replica after ingest: status %d version %d body %s", st, vr.Version, data)
+		}
+	}
+
+	// The routed merged sweep agrees on the version — not mixed.
+	st, _, data := postQuery(t, router.URL, `{"dataset": "d", "s": "1:4"}`)
+	var merged struct {
+		Version      uint64 `json:"version"`
+		VersionMixed bool   `json:"version_mixed"`
+	}
+	if st != http.StatusOK || json.Unmarshal(data, &merged) != nil {
+		t.Fatalf("routed query after ingest: status %d body %s", st, data)
+	}
+	if merged.VersionMixed || merged.Version != 2 {
+		t.Fatalf("merged version %d mixed=%v, want 2 unmixed", merged.Version, merged.VersionMixed)
+	}
+
+	// The router's ingest counter shows on /metrics.
+	mresp, err := http.Get(router.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mdata), "hyperrouter_ingests_total 1") {
+		t.Fatalf("router metrics missing ingest counter:\n%s", mdata)
+	}
+}
+
+// TestRouterIngestPartialFailureIs502: if any owner misses the delta
+// the fan-out is NOT a success — the caller must know the replica set
+// has diverged.
+func TestRouterIngestPartialFailureIs502(t *testing.T) {
+	adj := "0 1\n1 2\n2 3\n"
+	repA := realReplica(t, serve.New(serve.Config{}))
+	repB := realReplica(t, serve.New(serve.Config{}))
+	_, router := newRouterServer(t, Config{Replicas: []string{repA.URL, repB.URL}, Replication: 2})
+	putViaRouter(t, router.URL, "d", adj, 2)
+
+	repB.Close()
+	status, out := postIngest(t, router.URL, `{"dataset": "d", "inserts": [[0, 3]]}`)
+	if status != http.StatusBadGateway {
+		t.Fatalf("partial ingest: status %d, want 502 (body %v)", status, out)
+	}
+	if out["applied"].(float64) != 1 {
+		t.Fatalf("applied = %v, want 1", out["applied"])
+	}
+}
+
+// TestRouterIngestUnanimousConflictIs409: a stale base_version pin
+// rejected by every owner surfaces as a 409, so clients can distinguish
+// "re-read and rebuild the delta" from a replica failure.
+func TestRouterIngestUnanimousConflictIs409(t *testing.T) {
+	adj := "0 1\n1 2\n"
+	repA := realReplica(t, serve.New(serve.Config{}))
+	repB := realReplica(t, serve.New(serve.Config{}))
+	_, router := newRouterServer(t, Config{Replicas: []string{repA.URL, repB.URL}, Replication: 2})
+	putViaRouter(t, router.URL, "d", adj, 2)
+
+	status, out := postIngest(t, router.URL, `{"dataset": "d", "base_version": 99, "inserts": [[0, 2]]}`)
+	if status != http.StatusConflict {
+		t.Fatalf("stale pin: status %d, want 409 (body %v)", status, out)
+	}
+	if out["applied"].(float64) != 0 {
+		t.Fatalf("applied = %v, want 0", out["applied"])
+	}
+}
+
+// TestRouterVersionMixedFlag: when shards answer one sweep from
+// different dataset versions (a replica that ingested out-of-band), the
+// merged response flags version_mixed instead of inventing a version.
+func TestRouterVersionMixedFlag(t *testing.T) {
+	adj := "0 1 2\n1 2 3\n0 1 2 3 4\n4 5\n"
+	repA := realReplica(t, serve.New(serve.Config{}))
+	repB := realReplica(t, serve.New(serve.Config{}))
+	_, router := newRouterServer(t, Config{Replicas: []string{repA.URL, repB.URL}, Replication: 2})
+	putViaRouter(t, router.URL, "d", adj, 2)
+
+	// Diverge replica A behind the router's back.
+	resp, err := http.Post(repA.URL+"/v2/ingest", "application/json",
+		strings.NewReader(`{"dataset": "d", "inserts": [[4, 5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct ingest to replica A: %d", resp.StatusCode)
+	}
+
+	// A sweep wide enough to touch both shards must see the mix.
+	st, _, data := postQuery(t, router.URL, `{"dataset": "d", "s": "1:4"}`)
+	var merged struct {
+		Version      uint64 `json:"version"`
+		VersionMixed bool   `json:"version_mixed"`
+	}
+	if st != http.StatusOK || json.Unmarshal(data, &merged) != nil {
+		t.Fatalf("routed query: status %d body %s", st, data)
+	}
+	if !merged.VersionMixed {
+		t.Fatalf("merged response did not flag mixed versions: %s", data)
+	}
+	if merged.Version != 0 {
+		t.Fatalf("mixed response invented version %d", merged.Version)
+	}
+}
+
+// TestRouterChangesProxy: the change feed proxies to a healthy owner
+// with the query string intact.
+func TestRouterChangesProxy(t *testing.T) {
+	adj := "0 1\n1 2\n"
+	repA := realReplica(t, serve.New(serve.Config{}))
+	_, router := newRouterServer(t, Config{Replicas: []string{repA.URL}, Replication: 1})
+	putViaRouter(t, router.URL, "d", adj, 1)
+
+	status, out := postIngest(t, router.URL, `{"dataset": "d", "inserts": [[0, 2]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d body %v", status, out)
+	}
+
+	resp, err := http.Get(router.URL + "/v2/datasets/d/changes?since=1&timeout_ms=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var feed struct {
+		Version uint64 `json:"version"`
+		Events  []struct {
+			Version uint64 `json:"version"`
+			Inserts int    `json:"inserts"`
+		} `json:"events"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &feed) != nil {
+		t.Fatalf("proxied changes: status %d body %s", resp.StatusCode, data)
+	}
+	if feed.Version != 2 || len(feed.Events) != 1 || feed.Events[0].Inserts != 1 {
+		t.Fatalf("proxied feed %s, want version 2 with the one ingest event", data)
+	}
+
+	// Unknown dataset: the owning replica's 404 passes through verbatim.
+	nresp, err := http.Get(router.URL + "/v2/datasets/nope/changes?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("changes for unknown dataset: %d, want the replica's 404", nresp.StatusCode)
+	}
+}

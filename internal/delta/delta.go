@@ -1,0 +1,231 @@
+// Package delta implements incremental maintenance of streaming
+// hypergraphs: batched hyperedge insert/delete deltas applied to an
+// immutable hg.Hypergraph produce the next dataset version without
+// re-parsing, and the Stage-3 patcher (patch.go) exploits Algorithm 2's
+// locality — a hyperedge only perturbs overlap counts within its 2-hop
+// neighborhood — to patch cached s-line projections instead of
+// recomputing five stages.
+//
+// # ID stability
+//
+// Deltas operate on whole hyperedges, and the ID spaces are append-only:
+//
+//   - A deleted hyperedge's row becomes empty in place; its ID is never
+//     reused. Stage 1 (hg.Preprocess) already drops empty hyperedges, so
+//     the projection pipeline sees the deletion without any remapping.
+//   - Inserted hyperedges take the next IDs after the current edge
+//     space, in batch order.
+//   - Vertices are never deleted (a vertex with no remaining incidences
+//     is simply isolated, which Stage 1 also drops); inserted edges may
+//     reference new vertex IDs, growing the vertex space.
+//
+// Stable original IDs are what make cached projections patchable: a
+// projection's HyperedgeIDs map graph nodes to original IDs, which mean
+// the same thing before and after a delta.
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"hyperline/internal/hg"
+)
+
+// MaxBatch bounds the number of hyperedge operations (inserts plus
+// deletes) one delta may carry, keeping a single (possibly
+// unauthenticated) ingest request's work bounded the same way
+// core.MaxSValues bounds a batch query.
+const MaxBatch = 1 << 20
+
+// Delta is one batch of whole-hyperedge mutations against a specific
+// base hypergraph. The zero value is an empty delta. The JSON form is
+// the /v2/ingest wire format:
+//
+//	{"inserts": [[0,3,7], [2,5]], "deletes": [12, 40]}
+//
+// Deletes name hyperedge IDs of the base; inserts list the member
+// vertices of each appended hyperedge. Normalize validates and
+// canonicalizes a delta against its base before use.
+type Delta struct {
+	// Inserts lists the vertex set of each appended hyperedge; insert i
+	// receives ID base.NumEdges()+i.
+	Inserts [][]uint32 `json:"inserts,omitempty"`
+	// Deletes names base hyperedge IDs whose rows become empty.
+	Deletes []uint32 `json:"deletes,omitempty"`
+}
+
+// Empty reports whether the delta carries no operations.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.Inserts) == 0 && len(d.Deletes) == 0)
+}
+
+// Ops returns the number of hyperedge operations in the delta.
+func (d *Delta) Ops() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Inserts) + len(d.Deletes)
+}
+
+// insertIncidences sums the inserted vertex-list lengths.
+func (d *Delta) insertIncidences() int64 {
+	var n int64
+	for _, vs := range d.Inserts {
+		n += int64(len(vs))
+	}
+	return n
+}
+
+// Parse decodes the /v2/ingest wire format. Structural decoding only —
+// the delta still needs Normalize against its base before Apply.
+func Parse(data []byte) (*Delta, error) {
+	var d Delta
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("delta: bad wire format: %w", err)
+	}
+	return &d, nil
+}
+
+// Normalize validates d against its base and canonicalizes it in place:
+// insert vertex lists are sorted and deduplicated, deletes are sorted,
+// deduplicated, and checked in-range against non-empty base rows, and
+// vertex IDs are checked against the growth bound. A normalized delta
+// is safe to Apply without further allocation hazards: every array
+// Apply sizes is bounded by the base plus the delta's own payload, so a
+// hostile wire body cannot demand an allocation it did not pay for.
+func (d *Delta) Normalize(base *hg.Hypergraph) error {
+	if d == nil {
+		return fmt.Errorf("delta: nil delta")
+	}
+	if d.Ops() == 0 {
+		return fmt.Errorf("delta: empty delta (no inserts or deletes)")
+	}
+	if d.Ops() > MaxBatch {
+		return fmt.Errorf("delta: %d operations exceed the per-delta cap %d", d.Ops(), MaxBatch)
+	}
+	// Vertex growth bound: every new vertex needs at least one inserted
+	// incidence, so the densest legal ID space is the base's plus one ID
+	// per inserted incidence. Checking before Apply allocates keeps a
+	// single absurd vertex ID (e.g. 4e9 in a 10-vertex hypergraph) from
+	// demanding a multi-gigabyte offset array.
+	maxVertex := int64(base.NumVertices()) + d.insertIncidences() - 1
+	for i, vs := range d.Inserts {
+		if len(vs) == 0 {
+			return fmt.Errorf("delta: insert %d is empty (hyperedges must have at least one vertex)", i)
+		}
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		w := 1
+		for r := 1; r < len(vs); r++ {
+			if vs[r] != vs[r-1] {
+				vs[w] = vs[r]
+				w++
+			}
+		}
+		d.Inserts[i] = vs[:w]
+		if top := int64(vs[w-1]); top > maxVertex {
+			return fmt.Errorf("delta: insert %d references vertex %d beyond the growth bound %d (base has %d vertices)",
+				i, top, maxVertex, base.NumVertices())
+		}
+	}
+	if len(d.Deletes) > 0 {
+		sort.Slice(d.Deletes, func(a, b int) bool { return d.Deletes[a] < d.Deletes[b] })
+		w := 0
+		for r, e := range d.Deletes {
+			if r > 0 && e == d.Deletes[r-1] {
+				continue
+			}
+			d.Deletes[w] = e
+			w++
+		}
+		d.Deletes = d.Deletes[:w]
+		for _, e := range d.Deletes {
+			if int(e) >= base.NumEdges() {
+				return fmt.Errorf("delta: delete of hyperedge %d out of range (base has %d hyperedges)", e, base.NumEdges())
+			}
+			if base.EdgeSize(e) == 0 {
+				return fmt.Errorf("delta: delete of hyperedge %d, which is already empty (deleted by an earlier delta?)", e)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply materializes the post-delta hypergraph: base rows survive
+// unchanged, deleted rows become empty, and inserts append. The CSR
+// arrays are built directly in O(nnz) — no text re-parse, no Builder
+// sort — and the result shares no storage with the base (the base may
+// be mmap-backed and replaced underneath long-lived readers). d must be
+// normalized against base first.
+func Apply(base *hg.Hypergraph, d *Delta) (*hg.Hypergraph, error) {
+	if err := d.Normalize(base); err != nil {
+		return nil, err
+	}
+	m := base.NumEdges()
+	newEdges := m + len(d.Inserts)
+	deleted := make(map[uint32]bool, len(d.Deletes))
+	var removed int64
+	for _, e := range d.Deletes {
+		deleted[e] = true
+		removed += int64(base.EdgeSize(e))
+	}
+	nnz := base.Incidences() - removed + d.insertIncidences()
+
+	// Edge orientation: survivors copy, deletions collapse to
+	// zero-length rows, inserts append (already sorted by Normalize).
+	eOff := make([]int64, newEdges+1)
+	eAdj := make([]uint32, 0, nnz)
+	numVertices := int64(base.NumVertices())
+	for e := 0; e < m; e++ {
+		if !deleted[uint32(e)] {
+			eAdj = append(eAdj, base.EdgeVertices(uint32(e))...)
+		}
+		eOff[e+1] = int64(len(eAdj))
+	}
+	for i, vs := range d.Inserts {
+		eAdj = append(eAdj, vs...)
+		eOff[m+i+1] = int64(len(eAdj))
+		if top := int64(vs[len(vs)-1]) + 1; top > numVertices {
+			numVertices = top
+		}
+	}
+
+	// Vertex orientation by counting sort: scanning edges in ascending
+	// ID order emits each vertex row already sorted.
+	vOff := make([]int64, numVertices+2)
+	for _, v := range eAdj {
+		vOff[v+2]++
+	}
+	for v := 2; v < len(vOff); v++ {
+		vOff[v] += vOff[v-1]
+	}
+	vAdj := make([]uint32, len(eAdj))
+	for e := 0; e < newEdges; e++ {
+		for _, v := range eAdj[eOff[e]:eOff[e+1]] {
+			vAdj[vOff[v+1]] = uint32(e)
+			vOff[v+1]++
+		}
+	}
+	return hg.FromCSR(newEdges, int(numVertices), eOff, eAdj, vOff[:numVertices+1], vAdj)
+}
+
+// Invert returns the delta that undoes d, phrased against the
+// hypergraph Apply(base, d) produced: it deletes the IDs d's inserts
+// received and re-inserts the vertex lists of d's deletes. Applying d
+// then Invert(d, base) restores the base's multiset of non-empty
+// hyperedge vertex sets — not its ID layout: the twice-applied
+// hypergraph keeps tombstone rows and appends the restored hyperedges
+// at fresh IDs, which Stage 1 erases. d must be normalized against
+// base.
+func Invert(d *Delta, base *hg.Hypergraph) *Delta {
+	inv := &Delta{}
+	m := uint32(base.NumEdges())
+	for i := range d.Inserts {
+		inv.Deletes = append(inv.Deletes, m+uint32(i))
+	}
+	for _, e := range d.Deletes {
+		vs := append([]uint32(nil), base.EdgeVertices(e)...)
+		inv.Inserts = append(inv.Inserts, vs)
+	}
+	return inv
+}

@@ -4,12 +4,14 @@
 // times (the open-loop discipline saturation benchmarks need — a closed
 // loop self-throttles exactly when the server degrades, hiding the
 // degradation), each request drawn from a configurable mix of sweep,
-// measure, and upload traffic. The report carries client-side ground
-// truth the server's /metrics must reconcile with: per-status-code
+// measure, upload, and ingest traffic. The report carries client-side
+// ground truth the server's /metrics must reconcile with: per-status-code
 // counts, latency quantiles of successful requests, shed rate, and a
-// first-seen consistency map of response shapes per (kind, s) so any
-// run-internal divergence (a stale cache entry, a mixed-version batch)
-// surfaces as a mismatch count.
+// first-seen consistency map of response shapes per (version, kind, s)
+// so any run-internal divergence (a stale cache entry, a mixed-version
+// batch) surfaces as a mismatch count. Keys are version-prefixed
+// because ingest traffic legitimately changes answers: two answers for
+// one question must agree only when pinned to the same dataset version.
 package loadgen
 
 import (
@@ -39,6 +41,12 @@ type Mix struct {
 	// Upload re-PUTs the dataset body, bumping its version and
 	// invalidating both cache layers — the churn half of a soak.
 	Upload float64
+	// Ingest POSTs a small seeded insert-only delta to /v2/ingest,
+	// bumping the version while the server migrates or patches its
+	// caches — the streaming half of a soak. Deltas are valid by
+	// construction against any base: each draws its vertex IDs below
+	// its own incidence count, which the growth bound always admits.
+	Ingest float64
 }
 
 // DefaultMix is mostly reads with a trickle of churn.
@@ -124,11 +132,18 @@ type Report struct {
 	Shed int64 `json:"shed"`
 	// Mismatches counts responses whose shape diverged from the
 	// first-seen Observation for the same key — any nonzero value means
-	// the server returned two different answers for one question.
+	// the server returned two different answers for one question at one
+	// dataset version.
 	Mismatches int64 `json:"mismatches"`
-	// Observed maps traffic keys ("line/s=2", "measure/components/s=3")
-	// to their first-seen response shape, for comparison against an
-	// uncached baseline.
+	// Ingests counts the delta requests sent; IngestsApplied the ones
+	// every owner accepted (HTTP 200).
+	Ingests        int64 `json:"ingests"`
+	IngestsApplied int64 `json:"ingests_applied"`
+	// Observed maps version-prefixed traffic keys ("v3/line/s=2",
+	// "v3/measure/components/s=3") to their first-seen response shape,
+	// for comparison against an uncached baseline. Responses that do
+	// not name a single version (a router merge flagged version_mixed)
+	// are not recorded — they pin no version to be consistent with.
 	Observed map[string]Observation `json:"observed"`
 	// Latency quantifies the successful requests.
 	Latency Quantiles `json:"latency"`
@@ -244,7 +259,7 @@ func (cfg Config) withDefaults() (Config, error) {
 	if len(cfg.UploadBody) == 0 {
 		cfg.Mix.Upload = 0
 	}
-	if cfg.Mix.Sweep+cfg.Mix.Measure+cfg.Mix.Upload <= 0 {
+	if cfg.Mix.Sweep+cfg.Mix.Measure+cfg.Mix.Upload+cfg.Mix.Ingest <= 0 {
 		return cfg, errors.New("loadgen: the traffic mix has no positive weight")
 	}
 	if cfg.Timeout <= 0 {
@@ -329,12 +344,13 @@ const (
 	reqSweep reqKind = iota
 	reqMeasure
 	reqUpload
+	reqIngest
 )
 
 // draw picks the next request from the mix. Drawing happens on the
 // scheduling goroutine so the sequence is reproducible under Seed.
 func (cfg *Config) draw(rng *rand.Rand) (reqKind, []byte, string) {
-	total := cfg.Mix.Sweep + cfg.Mix.Measure + cfg.Mix.Upload
+	total := cfg.Mix.Sweep + cfg.Mix.Measure + cfg.Mix.Upload + cfg.Mix.Ingest
 	x := rng.Float64() * total
 	switch {
 	case x < cfg.Mix.Sweep:
@@ -350,9 +366,43 @@ func (cfg *Config) draw(rng *rand.Rand) (reqKind, []byte, string) {
 			"dataset": cfg.Dataset, "s": []int{s}, "measure": cfg.Measure, "priority": cfg.Priority,
 		})
 		return reqMeasure, body, fmt.Sprintf("measure/%s/s=%d", cfg.Measure, s)
-	default:
+	case x < cfg.Mix.Sweep+cfg.Mix.Measure+cfg.Mix.Upload:
 		return reqUpload, cfg.UploadBody, ""
+	default:
+		return reqIngest, cfg.drawDelta(rng), ""
 	}
+}
+
+// drawDelta builds one seeded insert-only /v2/ingest body: one to
+// three new hyperedges of two to four vertices each. Every vertex ID
+// is drawn below the delta's own incidence count, so the body is valid
+// against any base hypergraph — the ingest growth bound admits IDs up
+// to NumVertices + incidences − 1, and incidences > every drawn ID
+// here even when the base is empty. Insert-only keeps the generator
+// stateless: deletions would need the live edge count, which shifts
+// under the very traffic being generated.
+func (cfg *Config) drawDelta(rng *rand.Rand) []byte {
+	n := 1 + rng.Intn(3)
+	sizes := make([]int, n)
+	incidences := 0
+	for i := range sizes {
+		sizes[i] = 2 + rng.Intn(3)
+		incidences += sizes[i]
+	}
+	inserts := make([][]uint32, n)
+	for i, sz := range sizes {
+		seen := make(map[uint32]bool, sz)
+		for len(seen) < sz {
+			seen[uint32(rng.Intn(incidences))] = true
+		}
+		edge := make([]uint32, 0, sz)
+		for v := range seen {
+			edge = append(edge, v)
+		}
+		inserts[i] = edge
+	}
+	body, _ := json.Marshal(map[string]any{"dataset": cfg.Dataset, "inserts": inserts})
+	return body
 }
 
 // v2Entry is the slice of the /v2/query response the generator checks.
@@ -370,10 +420,17 @@ func (cfg *Config) issue(client *http.Client, st *runState, base string, kind re
 	defer cancel()
 	var req *http.Request
 	var err error
-	if kind == reqUpload {
+	switch kind {
+	case reqUpload:
 		req, err = http.NewRequestWithContext(rctx, http.MethodPut,
 			base+"/v1/datasets/"+cfg.Dataset+"?format=adj", bytes.NewReader(body))
-	} else {
+	case reqIngest:
+		req, err = http.NewRequestWithContext(rctx, http.MethodPost,
+			base+"/v2/ingest", bytes.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	default:
 		req, err = http.NewRequestWithContext(rctx, http.MethodPost,
 			base+"/v2/query", bytes.NewReader(body))
 		if err == nil {
@@ -397,13 +454,30 @@ func (cfg *Config) issue(client *http.Client, st *runState, base string, kind re
 	data, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	st.recordStatus(resp.StatusCode, time.Since(t0))
+	if kind == reqIngest {
+		st.mu.Lock()
+		st.rep.Ingests++
+		if resp.StatusCode == http.StatusOK {
+			st.rep.IngestsApplied++
+		}
+		st.mu.Unlock()
+		return
+	}
 	if kind == reqUpload || resp.StatusCode != http.StatusOK {
 		return
 	}
 	var out struct {
-		Results []v2Entry `json:"results"`
+		Version      uint64    `json:"version"`
+		VersionMixed bool      `json:"version_mixed"`
+		Results      []v2Entry `json:"results"`
 	}
 	if json.Unmarshal(data, &out) != nil {
+		return
+	}
+	// A router merge that spanned two dataset versions pins no single
+	// version — its entries answer no one consistent question, so they
+	// are not folded into the consistency map.
+	if out.VersionMixed {
 		return
 	}
 	for _, e := range out.Results {
@@ -415,7 +489,7 @@ func (cfg *Config) issue(client *http.Client, st *runState, base string, kind re
 		if kind == reqSweep {
 			k = fmt.Sprintf("line/s=%d", e.S)
 		}
-		st.observe(k, obs)
+		st.observe(fmt.Sprintf("v%d/%s", out.Version, k), obs)
 	}
 }
 
@@ -474,6 +548,7 @@ func (r *Report) BenchJSON(label string, now time.Time) BenchReport {
 			{Name: "HyperloadSent", Runs: 1, Iters: 1, NsPerOp: float64(r.Sent)},
 			{Name: "HyperloadShed", Runs: 1, Iters: 1, NsPerOp: float64(r.Shed)},
 			{Name: "HyperloadDropped", Runs: 1, Iters: 1, NsPerOp: float64(r.Dropped)},
+			{Name: "HyperloadIngestsApplied", Runs: 1, Iters: 1, NsPerOp: float64(r.IngestsApplied)},
 		},
 	}
 }
@@ -496,6 +571,9 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  transport errors: %d\n", r.TransportErrors)
 	}
 	fmt.Fprintf(&b, "shed rate %.1f%%, mismatches %d\n", 100*r.ShedRate(), r.Mismatches)
+	if r.Ingests > 0 {
+		fmt.Fprintf(&b, "ingests %d (applied %d)\n", r.Ingests, r.IngestsApplied)
+	}
 	q := r.Latency
 	fmt.Fprintf(&b, "latency (n=%d ok): p50 %s  p90 %s  p99 %s  max %s\n",
 		q.N, time.Duration(q.P50).Round(time.Microsecond), time.Duration(q.P90).Round(time.Microsecond),

@@ -174,6 +174,40 @@ func (c *lru[V]) flushToSpill() {
 	}
 }
 
+// Keys snapshots the keys of every in-memory entry (most recently used
+// first). The ingest walk iterates this snapshot — entries added or
+// evicted concurrently are simply not visited, which is safe because
+// old-version keys are unreachable by queries either way.
+func (c *lru[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry[V]).key)
+	}
+	return out
+}
+
+// Remove drops one entry from the memory tier (and the spill tier, when
+// attached), returning the removed value. Unlike eviction, a removed
+// entry does not spill: removal means the value is invalid, not cold.
+func (c *lru[V]) Remove(key string) (V, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	var val V
+	if ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		val = el.Value.(*cacheEntry[V]).val
+	}
+	spill := c.spill
+	c.mu.Unlock()
+	if spill != nil {
+		spill.Remove(key)
+	}
+	return val, ok
+}
+
 // Len returns the current number of cached values.
 func (c *lru[V]) Len() int {
 	c.mu.Lock()

@@ -40,6 +40,8 @@ import (
 //	GET    /v1/datasets/{name}/centrality?s=N&kind=betweenness|closeness|harmonic|pagerank|eccentricity
 //	GET    /v1/datasets/{name}/connectivity?s=N
 //	POST   /v2/query                                  (unified JSON query, see handleQueryV2)
+//	POST   /v2/ingest                                 (streaming delta, see handleIngest)
+//	GET    /v2/datasets/{name}/changes                (long-poll change feed, see handleChanges)
 //
 // Every endpoint threads the request's context through the pipeline:
 // client disconnects and per-request timeouts cancel the computation
@@ -137,6 +139,12 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v2/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQueryV2(svc, w, r)
 	})
+	mux.HandleFunc("POST /v2/ingest", func(w http.ResponseWriter, r *http.Request) {
+		handleIngest(svc, w, r)
+	})
+	mux.HandleFunc("GET /v2/datasets/{name}/changes", func(w http.ResponseWriter, r *http.Request) {
+		handleChanges(svc, w, r)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(svc, w, r)
 	})
@@ -159,6 +167,8 @@ func errStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrUnknownDataset):
 		return http.StatusNotFound
+	case errors.Is(err, ErrVersionConflict):
+		return http.StatusConflict
 	}
 	return http.StatusBadRequest
 }

@@ -73,7 +73,10 @@ type queryEntryJSON struct {
 }
 
 type queryResponseJSON struct {
-	Dataset   string           `json:"dataset"`
+	Dataset string `json:"dataset"`
+	// Version is the dataset version the query was pinned to; streaming
+	// clients use it to order answers across ingested deltas.
+	Version   uint64           `json:"version"`
 	Kind      string           `json:"kind"`
 	Measure   string           `json:"measure,omitempty"`
 	Plan      *planJSON        `json:"plan,omitempty"`
@@ -167,6 +170,7 @@ func handleQueryV2(svc *Service, w http.ResponseWriter, r *http.Request) {
 
 	resp := queryResponseJSON{
 		Dataset:   req.Dataset,
+		Version:   qr.Version,
 		Kind:      kindString(dual),
 		Measure:   req.Measure,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hyperline/internal/core"
+	"hyperline/internal/delta"
+	"hyperline/internal/hg"
+)
+
+// This file is the serving half of streaming ingest: applying a delta
+// to a registered dataset bumps its version (calibration carried
+// forward, see Registry.ApplyDelta) and then walks both result caches
+// once, deciding per key — via the delta.Patcher — whether the entry
+// provably survived the delta (migrate: re-key to the new version),
+// can be patched cheaper than recomputed (patch: rewrite the edge list
+// incrementally), or must go (drop). Keys the walk never visits are
+// merely unreachable, not wrong: every cache key embeds the version.
+
+// DeltaPolicy selects what Ingest does to cached artifacts.
+type DeltaPolicy string
+
+const (
+	// DeltaPolicyPatch (the default) migrates and patches cache entries
+	// across the version bump where provably sound, dropping only keys
+	// the delta's frontier actually touches.
+	DeltaPolicyPatch DeltaPolicy = "patch"
+	// DeltaPolicyInvalidate drops every cached entry of the dataset —
+	// the pre-streaming behavior, kept as the baseline arm for
+	// benchmarking patched maintenance against.
+	DeltaPolicyInvalidate DeltaPolicy = "invalidate"
+)
+
+// ParseDeltaPolicy validates a policy name ("" = patch).
+func ParseDeltaPolicy(v string) (DeltaPolicy, error) {
+	switch DeltaPolicy(v) {
+	case "", DeltaPolicyPatch:
+		return DeltaPolicyPatch, nil
+	case DeltaPolicyInvalidate:
+		return DeltaPolicyInvalidate, nil
+	}
+	return "", fmt.Errorf("serve: unknown delta policy %q (want %q or %q)", v, DeltaPolicyPatch, DeltaPolicyInvalidate)
+}
+
+// IngestResult summarizes one applied delta: the version transition,
+// the delta's shape, and what happened to the dataset's cached
+// artifacts.
+type IngestResult struct {
+	Dataset    string `json:"dataset"`
+	OldVersion uint64 `json:"old_version"`
+	Version    uint64 `json:"version"`
+	Inserts    int    `json:"inserts"`
+	Deletes    int    `json:"deletes"`
+	// AffectedSLine / AffectedSClique bound the frontier per
+	// orientation: projections at s above the bound are unchanged.
+	AffectedSLine   int `json:"affected_s_line"`
+	AffectedSClique int `json:"affected_s_clique"`
+	// Projection-cache outcomes.
+	Migrated int `json:"migrated"`
+	Patched  int `json:"patched"`
+	Dropped  int `json:"dropped"`
+	// Measure-cache outcomes (entries migrate with their projection or
+	// drop; they are never patched).
+	MeasuresMigrated int `json:"measures_migrated"`
+	MeasuresDropped  int `json:"measures_dropped"`
+
+	Policy DeltaPolicy `json:"policy"`
+}
+
+// Ingest applies one delta to the named dataset: the post-delta
+// hypergraph is materialized (no re-parse), installed as the next
+// version with calibration carried forward, and the caches are walked
+// under the configured DeltaPolicy. The delta is validated against the
+// dataset's current version; baseVersion != 0 additionally pins the
+// version the client built the delta against (hyperedge IDs are only
+// meaningful relative to a version). Concurrent writers lose the CAS
+// and get ErrVersionConflict. A cancelled ctx stops the cache walk
+// early — the version bump itself is already durable, and unvisited
+// old-version keys are unreachable, so early exit only costs hit rate.
+func (s *Service) Ingest(ctx context.Context, name string, d *delta.Delta, baseVersion uint64) (*IngestResult, error) {
+	h, oldV, err := s.reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if baseVersion != 0 && baseVersion != oldV {
+		return nil, fmt.Errorf("serve: %w: delta based on version %d of %q, current is %d",
+			ErrVersionConflict, baseVersion, name, oldV)
+	}
+	newH, err := delta.Apply(h, d)
+	if err != nil {
+		return nil, err
+	}
+	newV, err := s.reg.ApplyDelta(name, oldV, newH)
+	if err != nil {
+		return nil, err
+	}
+	s.ingestsApplied.Add(1)
+
+	p := delta.NewPatcher(h, newH, d)
+	res := &IngestResult{
+		Dataset:         name,
+		OldVersion:      oldV,
+		Version:         newV,
+		Inserts:         len(d.Inserts),
+		Deletes:         len(d.Deletes),
+		AffectedSLine:   p.AffectedS(false),
+		AffectedSClique: p.AffectedS(true),
+		Policy:          s.deltaPolicy,
+	}
+
+	oldPrefix := fmt.Sprintf("%s@%d/", name, oldV)
+	newPrefix := fmt.Sprintf("%s@%d/", name, newV)
+	nd, _ := s.reg.at(name, newV) // nil after a concurrent replacement: treat everything as drop
+
+	for _, k := range s.cache.Keys() {
+		rest, ok := strings.CutPrefix(k, oldPrefix)
+		if !ok {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		attrs, parsed := parseProjKeyRest(rest)
+		action := delta.ActionDrop
+		var old *core.PipelineResult
+		if parsed && nd != nil && s.deltaPolicy == DeltaPolicyPatch {
+			if old, ok = s.cache.Remove(k); ok {
+				action = p.Plan(attrs, old.Graph.NumEdges(),
+					nd.statsFor(attrs.Dual).WedgePairs, anyCalibrated(nd.costsFor(attrs.Dual)))
+			}
+		} else {
+			_, ok = s.cache.Remove(k)
+		}
+		if !ok {
+			continue // evicted between the snapshot and the walk
+		}
+		switch action {
+		case delta.ActionMigrate:
+			s.cache.Put(newPrefix+rest, old)
+			res.Migrated++
+			s.ingestMigrated.Add(1)
+		case delta.ActionPatch:
+			patched, perr := p.Patch(old, attrs)
+			if perr != nil {
+				res.Dropped++
+				s.ingestDropped.Add(1)
+				continue
+			}
+			s.cache.Put(newPrefix+rest, patched)
+			res.Patched++
+			s.ingestPatched.Add(1)
+		default:
+			res.Dropped++
+			s.ingestDropped.Add(1)
+		}
+	}
+
+	for _, k := range s.mcache.Keys() {
+		rest, ok := strings.CutPrefix(k, oldPrefix)
+		if !ok {
+			continue
+		}
+		projRest, _, found := strings.Cut(rest, "/measure=")
+		attrs, parsed := parseProjKeyRest(projRest)
+		migrate := found && parsed && s.deltaPolicy == DeltaPolicyPatch &&
+			ctx.Err() == nil && p.Migratable(attrs)
+		val, ok := s.mcache.Remove(k)
+		if !ok {
+			continue
+		}
+		if migrate {
+			s.mcache.Put(newPrefix+rest, val)
+			res.MeasuresMigrated++
+			s.ingestMeasureMigrated.Add(1)
+		} else {
+			res.MeasuresDropped++
+			s.ingestMeasureDropped.Add(1)
+		}
+	}
+
+	s.feed.publish(name, ChangeEvent{
+		Version:          newV,
+		Inserts:          res.Inserts,
+		Deletes:          res.Deletes,
+		Migrated:         res.Migrated,
+		Patched:          res.Patched,
+		Dropped:          res.Dropped,
+		MeasuresMigrated: res.MeasuresMigrated,
+		MeasuresDropped:  res.MeasuresDropped,
+		Policy:           res.Policy,
+	})
+	return res, nil
+}
+
+// parseProjKeyRest parses the version-independent tail of a projection
+// cache key — "orient/s=N/class=...,relabel=...,toplex=...,squeeze=..."
+// (see key) — back into the attributes the patcher decides on. Keys
+// minted by a different build that fail to parse are simply dropped by
+// the caller, which is always sound.
+func parseProjKeyRest(rest string) (delta.KeyAttrs, bool) {
+	var a delta.KeyAttrs
+	orient, rest, ok := strings.Cut(rest, "/")
+	if !ok {
+		return a, false
+	}
+	switch orient {
+	case "line":
+		a.Dual = false
+	case "clique":
+		a.Dual = true
+	default:
+		return a, false
+	}
+	sPart, fp, ok := strings.Cut(rest, "/")
+	if !ok || !strings.HasPrefix(sPart, "s=") {
+		return a, false
+	}
+	sVal, err := strconv.Atoi(sPart[len("s="):])
+	if err != nil || sVal < 1 {
+		return a, false
+	}
+	a.S = sVal
+	for _, field := range strings.Split(fp, ",") {
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return a, false
+		}
+		switch name {
+		case "class":
+			a.Exact = val == "exact"
+		case "relabel":
+			switch val {
+			case "N":
+				a.Relabel = hg.RelabelNone
+			case "A":
+				a.Relabel = hg.RelabelAscending
+			case "D":
+				a.Relabel = hg.RelabelDescending
+			default:
+				return a, false // unresolved "*" never reaches a cache key
+			}
+		case "toplex":
+			switch val {
+			case "true":
+				a.Toplex = true
+			case "false":
+				a.Toplex = false
+			default:
+				return a, false
+			}
+		case "squeeze":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return a, false
+			}
+			a.Squeeze = b
+		default:
+			return a, false
+		}
+	}
+	return a, true
+}
+
+// anyCalibrated reports whether the model has at least one calibrated
+// cell — the signal that its recompute-cost estimates are grounded in
+// observations of this dataset, which lets the patch-vs-recompute
+// decision use the more permissive threshold.
+func anyCalibrated(cm *core.CostModel) bool {
+	if cm == nil {
+		return false
+	}
+	for _, o := range cm.Snapshot() {
+		if o.Calibrated {
+			return true
+		}
+	}
+	return false
+}
+
+// ChangeEvent is one entry of a dataset's change feed: the version a
+// delta produced, its shape, and the cache outcomes — what a dashboard
+// needs to watch an evolving hypergraph without polling projections.
+type ChangeEvent struct {
+	Version          uint64      `json:"version"`
+	Inserts          int         `json:"inserts"`
+	Deletes          int         `json:"deletes"`
+	Migrated         int         `json:"migrated"`
+	Patched          int         `json:"patched"`
+	Dropped          int         `json:"dropped"`
+	MeasuresMigrated int         `json:"measures_migrated"`
+	MeasuresDropped  int         `json:"measures_dropped"`
+	Policy           DeltaPolicy `json:"policy"`
+}
+
+// feedCapacity bounds the retained events per dataset; a consumer more
+// than feedCapacity deltas behind re-syncs from the current version.
+const feedCapacity = 64
+
+// changeFeed is the per-dataset event ring behind the long-poll
+// /v2/datasets/{name}/changes endpoint.
+type changeFeed struct {
+	mu     sync.Mutex
+	byName map[string]*datasetFeed
+}
+
+type datasetFeed struct {
+	events []ChangeEvent // ascending version, bounded to feedCapacity
+	notify chan struct{} // closed on publish, then replaced
+}
+
+func newChangeFeed() *changeFeed {
+	return &changeFeed{byName: make(map[string]*datasetFeed)}
+}
+
+func (f *changeFeed) get(name string) *datasetFeed {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	df, ok := f.byName[name]
+	if !ok {
+		df = &datasetFeed{notify: make(chan struct{})}
+		f.byName[name] = df
+	}
+	return df
+}
+
+// publish appends one event and wakes every long-poll waiter.
+func (f *changeFeed) publish(name string, ev ChangeEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	df, ok := f.byName[name]
+	if !ok {
+		df = &datasetFeed{notify: make(chan struct{})}
+		f.byName[name] = df
+	}
+	df.events = append(df.events, ev)
+	if len(df.events) > feedCapacity {
+		df.events = df.events[len(df.events)-feedCapacity:]
+	}
+	close(df.notify)
+	df.notify = make(chan struct{})
+}
+
+// after returns the retained events with Version > since, plus the
+// channel that will be closed on the next publish.
+func (f *changeFeed) after(name string, since uint64) ([]ChangeEvent, <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	df, ok := f.byName[name]
+	if !ok {
+		df = &datasetFeed{notify: make(chan struct{})}
+		f.byName[name] = df
+	}
+	var out []ChangeEvent
+	for _, ev := range df.events {
+		if ev.Version > since {
+			out = append(out, ev)
+		}
+	}
+	return out, df.notify
+}
+
+// Changes long-polls the named dataset's change feed: it returns every
+// retained event with version > since, blocking until one exists or ctx
+// expires (an expired ctx returns an empty slice, not an error — the
+// long-poll timeout contract). When the dataset's current version is
+// already past since but the events were produced outside the feed (a
+// full re-upload, a restart, a trimmed ring), it returns immediately
+// with no events: the caller sees the version jump and re-syncs.
+func (s *Service) Changes(ctx context.Context, name string, since uint64) ([]ChangeEvent, uint64, error) {
+	for {
+		_, version, err := s.reg.Get(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		events, notify := s.feed.after(name, since)
+		if len(events) > 0 || version > since {
+			// Either real events, or a version jump the feed cannot
+			// explain (re-upload / trimmed ring): both end the poll.
+			return events, version, nil
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return nil, version, nil
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperline/internal/core"
+	"hyperline/internal/delta"
+)
+
+// queryV2 posts one /v2/query and decodes the response.
+func queryV2(t *testing.T, ts *httptest.Server, body string) v2Response {
+	t.Helper()
+	var out v2Response
+	do(t, http.MethodPost, ts.URL+"/v2/query", strings.NewReader(body), http.StatusOK, &out)
+	return out
+}
+
+// v2Response mirrors the wire fields these tests assert on.
+type v2Response struct {
+	Dataset string `json:"dataset"`
+	Version uint64 `json:"version"`
+	Results []struct {
+		S      int    `json:"s"`
+		Cached bool   `json:"cached"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+		Error  string `json:"error"`
+	} `json:"results"`
+}
+
+type ingestResponse struct {
+	IngestResult
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// TestIngestSelectiveInvalidation is the headline streaming contract:
+// after a delta, only cache keys the delta's frontier intersects are
+// invalidated. Warmed line projections at s above the affected bound
+// answer cached:true at the new version, without a single recompute.
+func TestIngestSelectiveInvalidation(t *testing.T) {
+	ts, svc := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// Warm the exact-class line projections at s=1..5.
+	warm := queryV2(t, ts, `{"dataset": "paper", "s": [1,2,3,4,5], "exact": true}`)
+	if warm.Version != 1 {
+		t.Fatalf("fresh dataset at version %d, want 1", warm.Version)
+	}
+	computes := svc.projectionComputes.Load()
+	if computes == 0 {
+		t.Fatal("warmup did not compute anything")
+	}
+
+	// Ingest one delta: a new {4,5} hyperedge. Line frontier bound is
+	// the max inserted size — 2 — so s=3..5 are provably unaffected.
+	var ing ingestResponse
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "inserts": [[4, 5]]}`),
+		http.StatusOK, &ing)
+	if ing.OldVersion != 1 || ing.Version != 2 {
+		t.Fatalf("version transition %d -> %d, want 1 -> 2", ing.OldVersion, ing.Version)
+	}
+	if ing.AffectedSLine != 2 {
+		t.Fatalf("affected_s_line = %d, want 2", ing.AffectedSLine)
+	}
+	if ing.Inserts != 1 || ing.Deletes != 0 {
+		t.Fatalf("delta shape %d/%d, want 1 insert, 0 deletes", ing.Inserts, ing.Deletes)
+	}
+	if ing.Policy != DeltaPolicyPatch {
+		t.Fatalf("policy %q, want patch", ing.Policy)
+	}
+	// s=3,4,5 are above the frontier: migrated. s=1,2 were patched or
+	// dropped, never silently kept.
+	if ing.Migrated != 3 {
+		t.Fatalf("migrated = %d, want 3 (s=3..5)", ing.Migrated)
+	}
+	if ing.Patched+ing.Dropped != 2 {
+		t.Fatalf("patched+dropped = %d+%d, want 2 (s=1,2)", ing.Patched, ing.Dropped)
+	}
+
+	// The unaffected s values answer cached:true at the new version
+	// with the compute counter untouched.
+	after := queryV2(t, ts, `{"dataset": "paper", "s": [3,4,5], "exact": true}`)
+	if after.Version != 2 {
+		t.Fatalf("post-ingest query pinned to version %d, want 2", after.Version)
+	}
+	for _, e := range after.Results {
+		if !e.Cached {
+			t.Errorf("s=%d not served from cache after an unrelated delta", e.S)
+		}
+	}
+	if got := svc.projectionComputes.Load(); got != computes {
+		t.Fatalf("projection computes went %d -> %d; unaffected s must not recompute", computes, got)
+	}
+
+	// Every s — patched, migrated, or recomputed — matches a
+	// from-scratch pipeline run on the post-delta hypergraph.
+	d := &delta.Delta{Inserts: [][]uint32{{4, 5}}}
+	newH, err := delta.Apply(paperExample(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := queryV2(t, ts, `{"dataset": "paper", "s": [1,2,3,4,5], "exact": true}`)
+	var cfg core.PipelineConfig
+	cfg.Core.DisableShortCircuit = true
+	for _, e := range full.Results {
+		fresh, err := core.Run(context.Background(), newH, e.S, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Nodes != fresh.Graph.NumNodes() || e.Edges != fresh.Graph.NumEdges() {
+			t.Errorf("s=%d: served %d nodes/%d edges, fresh compute has %d/%d",
+				e.S, e.Nodes, e.Edges, fresh.Graph.NumNodes(), fresh.Graph.NumEdges())
+		}
+	}
+}
+
+// TestIngestPolicyInvalidate pins the baseline arm: with
+// DeltaPolicyInvalidate every cached entry of the dataset drops and the
+// next sweep recomputes, but answers stay correct.
+func TestIngestPolicyInvalidate(t *testing.T) {
+	svc := New(Config{DeltaPolicy: DeltaPolicyInvalidate})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	uploadPaper(t, ts)
+
+	queryV2(t, ts, `{"dataset": "paper", "s": [1,2,3,4,5], "exact": true}`)
+	computes := svc.projectionComputes.Load()
+
+	var ing ingestResponse
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "inserts": [[4, 5]]}`),
+		http.StatusOK, &ing)
+	if ing.Policy != DeltaPolicyInvalidate {
+		t.Fatalf("policy %q, want invalidate", ing.Policy)
+	}
+	if ing.Migrated != 0 || ing.Patched != 0 {
+		t.Fatalf("invalidate policy migrated %d / patched %d entries", ing.Migrated, ing.Patched)
+	}
+	if ing.Dropped != 5 {
+		t.Fatalf("dropped = %d, want all 5 warmed entries", ing.Dropped)
+	}
+
+	after := queryV2(t, ts, `{"dataset": "paper", "s": [3,4,5], "exact": true}`)
+	for _, e := range after.Results {
+		if e.Cached {
+			t.Errorf("s=%d cached under the invalidate policy", e.S)
+		}
+	}
+	if got := svc.projectionComputes.Load(); got == computes {
+		t.Fatal("invalidate policy served without recomputing")
+	}
+	d := &delta.Delta{Inserts: [][]uint32{{4, 5}}}
+	newH, err := delta.Apply(paperExample(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg core.PipelineConfig
+	cfg.Core.DisableShortCircuit = true
+	for _, e := range after.Results {
+		fresh, err := core.Run(context.Background(), newH, e.S, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Nodes != fresh.Graph.NumNodes() || e.Edges != fresh.Graph.NumEdges() {
+			t.Errorf("s=%d: recomputed answer wrong: %d/%d vs %d/%d",
+				e.S, e.Nodes, e.Edges, fresh.Graph.NumNodes(), fresh.Graph.NumEdges())
+		}
+	}
+}
+
+// calibratedCells counts calibrated cost cells across both orientations.
+func calibratedCells(t *testing.T, svc *Service, name string) int {
+	t.Helper()
+	ci, err := svc.Calibration(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, o := range append(ci.Line, ci.Clique...) {
+		if o.Calibrated {
+			n++
+		}
+	}
+	return n
+}
+
+// TestIngestCalibrationSurvives is the carry-forward satellite: the
+// cost model a dataset accumulated keeps steering the planner across
+// delta-derived version bumps (the hypergraph changed incrementally, so
+// the observations still describe it), while a full re-upload — an
+// arbitrary replacement — resets calibration from scratch.
+func TestIngestCalibrationSurvives(t *testing.T) {
+	ts, svc := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// Three single-s computes land three observations in one cost cell
+	// (same strategy, relabel, toplex, single-s batch shape).
+	for s := 1; s <= 3; s++ {
+		queryV2(t, ts, fmt.Sprintf(`{"dataset": "paper", "s": [%d], "exact": true}`, s))
+	}
+	if calibratedCells(t, svc, "paper") == 0 {
+		t.Fatal("three single-s computes did not calibrate any cell")
+	}
+
+	for i := 0; i < 3; i++ {
+		d := &delta.Delta{Inserts: [][]uint32{{uint32(i), uint32(i + 1)}}}
+		if _, err := svc.Ingest(context.Background(), "paper", d, 0); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if calibratedCells(t, svc, "paper") == 0 {
+			t.Fatalf("calibration lost after delta %d", i+1)
+		}
+	}
+	ci, err := svc.Calibration("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Version != 4 {
+		t.Fatalf("after 3 deltas version = %d, want 4", ci.Version)
+	}
+
+	// A full replacement invalidates everything the model learned.
+	uploadPaper(t, ts)
+	if n := calibratedCells(t, svc, "paper"); n != 0 {
+		t.Fatalf("re-upload kept %d calibrated cells, want 0", n)
+	}
+}
+
+// TestIngestVersionConflict covers both conflict paths: a stale
+// base_version pin over HTTP (409), and the registry CAS losing to a
+// concurrent writer.
+func TestIngestVersionConflict(t *testing.T) {
+	ts, svc := newTestServer(t)
+	uploadPaper(t, ts)
+
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "base_version": 99, "inserts": [[4, 5]]}`),
+		http.StatusConflict, nil)
+
+	// Correct pin succeeds and bumps the version.
+	var ing ingestResponse
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "base_version": 1, "inserts": [[4, 5]]}`),
+		http.StatusOK, &ing)
+	if ing.Version != 2 {
+		t.Fatalf("pinned ingest produced version %d, want 2", ing.Version)
+	}
+
+	// The old pin is now stale.
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "base_version": 1, "inserts": [[0, 1]]}`),
+		http.StatusConflict, nil)
+
+	// A malformed delta (hyperedge ID out of range) is a client error.
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "deletes": [99]}`),
+		http.StatusBadRequest, nil)
+
+	// Unknown dataset.
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "nope", "inserts": [[0, 1]]}`),
+		http.StatusNotFound, nil)
+	_ = svc
+}
+
+// changesResponse mirrors GET /v2/datasets/{name}/changes.
+type changesResponse struct {
+	Dataset string        `json:"dataset"`
+	Version uint64        `json:"version"`
+	Events  []ChangeEvent `json:"events"`
+}
+
+// TestChangesFeed covers the long-poll contract: an idle poll times out
+// with the current version and no events; a waiter blocked on the feed
+// is woken by a concurrent ingest; a version jump the feed cannot
+// explain (full re-upload) ends the poll immediately with no events so
+// the client re-syncs.
+func TestChangesFeed(t *testing.T) {
+	ts, svc := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// since=0 against version 1: the jump from upload is outside the
+	// feed, so the poll returns immediately, empty.
+	var cr changesResponse
+	do(t, http.MethodGet, ts.URL+"/v2/datasets/paper/changes?since=0&timeout_ms=5000",
+		nil, http.StatusOK, &cr)
+	if cr.Version != 1 || len(cr.Events) != 0 {
+		t.Fatalf("upload jump: version %d events %d, want 1 and none", cr.Version, len(cr.Events))
+	}
+
+	// Idle poll at the current version: times out empty.
+	start := time.Now()
+	do(t, http.MethodGet, ts.URL+"/v2/datasets/paper/changes?since=1&timeout_ms=100",
+		nil, http.StatusOK, &cr)
+	if len(cr.Events) != 0 || cr.Version != 1 {
+		t.Fatalf("idle poll: %+v", cr)
+	}
+	if time.Since(start) < 80*time.Millisecond {
+		t.Fatal("idle poll returned before its timeout")
+	}
+
+	// A blocked waiter is woken by a concurrent ingest.
+	done := make(chan changesResponse, 1)
+	go func() {
+		var out changesResponse
+		do(t, http.MethodGet, ts.URL+"/v2/datasets/paper/changes?since=1&timeout_ms=10000",
+			nil, http.StatusOK, &out)
+		done <- out
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll block
+	d := &delta.Delta{Inserts: [][]uint32{{4, 5}}}
+	if _, err := svc.Ingest(context.Background(), "paper", d, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-done:
+		if out.Version != 2 || len(out.Events) != 1 {
+			t.Fatalf("woken poll: %+v", out)
+		}
+		ev := out.Events[0]
+		if ev.Version != 2 || ev.Inserts != 1 {
+			t.Fatalf("event %+v, want version 2 with 1 insert", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest did not wake the long-poll waiter")
+	}
+
+	// Unknown dataset is a 404, not a hang.
+	do(t, http.MethodGet, ts.URL+"/v2/datasets/nope/changes?since=0",
+		nil, http.StatusNotFound, nil)
+}
+
+// TestIngestMeasureMigration checks the measure cache rides along:
+// measure values whose projection provably survived the delta re-key to
+// the new version (cached:true, no recompute), values inside the
+// frontier drop and recompute.
+func TestIngestMeasureMigration(t *testing.T) {
+	ts, svc := newTestServer(t)
+	uploadPaper(t, ts)
+
+	// Warm components at s=1 (inside the coming frontier) and s=3
+	// (outside it).
+	queryV2(t, ts, `{"dataset": "paper", "s": [1, 3], "measure": "components", "exact": true}`)
+	mComputes := svc.measureComputes.Load()
+	if mComputes == 0 {
+		t.Fatal("measure warmup did not compute")
+	}
+
+	var ing ingestResponse
+	do(t, http.MethodPost, ts.URL+"/v2/ingest",
+		strings.NewReader(`{"dataset": "paper", "inserts": [[4, 5]]}`),
+		http.StatusOK, &ing)
+	if ing.MeasuresMigrated != 1 || ing.MeasuresDropped != 1 {
+		t.Fatalf("measures migrated/dropped = %d/%d, want 1/1", ing.MeasuresMigrated, ing.MeasuresDropped)
+	}
+
+	out := queryV2(t, ts, `{"dataset": "paper", "s": [3], "measure": "components", "exact": true}`)
+	if len(out.Results) != 1 || !out.Results[0].Cached {
+		t.Fatalf("migrated measure not served from cache: %+v", out.Results)
+	}
+	if got := svc.measureComputes.Load(); got != mComputes {
+		t.Fatalf("measure computes went %d -> %d on a migrated key", mComputes, got)
+	}
+
+	out = queryV2(t, ts, `{"dataset": "paper", "s": [1], "measure": "components", "exact": true}`)
+	if len(out.Results) != 1 || out.Results[0].Cached {
+		t.Fatal("frontier-intersecting measure was served stale from cache")
+	}
+}

@@ -166,6 +166,16 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	mw.header("hyperline_measure_computes_total", "measure evaluations actually computed", "counter")
 	mw.value("hyperline_measure_computes_total", "", float64(s.measureComputes.Load()))
 
+	mw.header("hyperline_ingest_applied_total", "deltas applied via streaming ingest", "counter")
+	mw.value("hyperline_ingest_applied_total", "", float64(s.ingestsApplied.Load()))
+	mw.header("hyperline_ingest_projection_outcomes_total", "projection cache entries walked across delta version bumps, by outcome", "counter")
+	mw.value("hyperline_ingest_projection_outcomes_total", `outcome="migrated"`, float64(s.ingestMigrated.Load()))
+	mw.value("hyperline_ingest_projection_outcomes_total", `outcome="patched"`, float64(s.ingestPatched.Load()))
+	mw.value("hyperline_ingest_projection_outcomes_total", `outcome="dropped"`, float64(s.ingestDropped.Load()))
+	mw.header("hyperline_ingest_measure_outcomes_total", "measure cache entries walked across delta version bumps, by outcome", "counter")
+	mw.value("hyperline_ingest_measure_outcomes_total", `outcome="migrated"`, float64(s.ingestMeasureMigrated.Load()))
+	mw.value("hyperline_ingest_measure_outcomes_total", `outcome="dropped"`, float64(s.ingestMeasureDropped.Load()))
+
 	mw.header("hyperline_singleflight_dedups_total", "requests served by joining another caller's in-flight computation", "counter")
 	mw.value("hyperline_singleflight_dedups_total", `flight="projection"`, float64(s.sfDedups.Load()))
 	mw.value("hyperline_singleflight_dedups_total", `flight="measure"`, float64(s.msfDedups.Load()))

@@ -33,6 +33,9 @@ var metricFamilies = map[string]string{
 	"hyperline_spill_errors_total":                 "counter",
 	"hyperline_projection_computes_total":          "counter",
 	"hyperline_measure_computes_total":             "counter",
+	"hyperline_ingest_applied_total":               "counter",
+	"hyperline_ingest_projection_outcomes_total":   "counter",
+	"hyperline_ingest_measure_outcomes_total":      "counter",
 	"hyperline_singleflight_dedups_total":          "counter",
 	"hyperline_datasets":                           "gauge",
 	"hyperline_admission_admitted_total":           "counter",

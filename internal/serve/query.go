@@ -73,6 +73,10 @@ type QueryResult struct {
 	// taken, for cached projections). It is zero when every entry was
 	// served from the measure cache and no projection was touched.
 	Plan core.PlanInfo
+	// Version is the dataset version the whole query was pinned to —
+	// under streaming ingest, the consistency token a client needs to
+	// compare answers across deltas.
+	Version uint64
 }
 
 // Query executes one unified v2 request: validation first (a typo
@@ -121,7 +125,7 @@ func (s *Service) Query(ctx context.Context, q QueryRequest) (*QueryResult, erro
 	q.Cfg = s.resolveAt(h, version, q.Dataset, q.Dual, core.DistinctS(q.S), q.Cfg)
 
 	distinct := core.DistinctS(q.S)
-	out := &QueryResult{Entries: make([]QueryEntry, len(distinct))}
+	out := &QueryResult{Entries: make([]QueryEntry, len(distinct)), Version: version}
 	index := make(map[int]int, len(distinct))
 	for i, sVal := range distinct {
 		index[sVal] = i

@@ -16,6 +16,12 @@ import (
 // errors.Is.
 var ErrUnknownDataset = errors.New("unknown dataset")
 
+// ErrVersionConflict marks a delta application whose base version is no
+// longer the dataset's current version — a concurrent upload or ingest
+// won the race. The HTTP layer maps it to 409; the client re-reads and
+// retries against the new version.
+var ErrVersionConflict = errors.New("version conflict")
+
 // DatasetInfo describes one registered dataset.
 type DatasetInfo struct {
 	Name    string
@@ -101,6 +107,42 @@ func (r *Registry) Add(name string, h *hg.Hypergraph) uint64 {
 		dualCosts: core.NewCostModel(),
 	}
 	return r.nextVer
+}
+
+// ApplyDelta installs newH as the next version of name, but only while
+// oldVersion is still the current version (compare-and-swap against
+// concurrent writers; losers get ErrVersionConflict and must re-read).
+//
+// Unlike Add, the old version's calibration tables are carried forward:
+// a delta perturbs a bounded neighborhood of the hypergraph, so Stage-3
+// cost observations of vN remain accurate predictors for vN+1 — whereas
+// a full replacement says nothing about the new hypergraph and rightly
+// resets them. The EWMA smoothing absorbs drift across long delta
+// chains. The dual-orientation statistics do reset (fresh dualOnce):
+// they are exact counts, not estimates, and must describe the new
+// hypergraph.
+func (r *Registry) ApplyDelta(name string, oldVersion uint64, newH *hg.Hypergraph) (uint64, error) {
+	stats := hg.ComputeStats(name, newH)
+	stats.ToplexSample = hg.SampleContainment(newH)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("serve: %w %q", ErrUnknownDataset, name)
+	}
+	if d.version != oldVersion {
+		return 0, fmt.Errorf("serve: %w: delta based on version %d of %q, current is %d",
+			ErrVersionConflict, oldVersion, name, d.version)
+	}
+	r.nextVer++
+	r.byName[name] = &dataset{
+		h:         newH,
+		version:   r.nextVer,
+		stats:     stats,
+		costs:     d.costs,
+		dualCosts: d.dualCosts,
+	}
+	return r.nextVer, nil
 }
 
 // addRestored registers h under name with a pinned version — the

@@ -56,6 +56,12 @@ type Config struct {
 	// immediately with the same 429 + Retry-After path, so one hot
 	// dataset cannot monopolize the global budget or the queue.
 	MaxInflightPerDataset int
+
+	// DeltaPolicy selects what Ingest does to cached artifacts across a
+	// delta-derived version bump: DeltaPolicyPatch (the default)
+	// migrates and incrementally patches entries where provably sound;
+	// DeltaPolicyInvalidate drops everything — the recompute baseline.
+	DeltaPolicy DeltaPolicy
 }
 
 // Service ties the dataset registry, the result cache, the Stage-5
@@ -82,6 +88,18 @@ type Service struct {
 	adm     *admission
 	metrics *metrics
 
+	// Streaming ingest state: the configured cache-maintenance policy,
+	// the per-dataset change feed, and the lifetime ingest counters the
+	// /metrics exposition reports.
+	deltaPolicy           DeltaPolicy
+	feed                  *changeFeed
+	ingestsApplied        atomic.Int64
+	ingestMigrated        atomic.Int64
+	ingestPatched         atomic.Int64
+	ingestDropped         atomic.Int64
+	ingestMeasureMigrated atomic.Int64
+	ingestMeasureDropped  atomic.Int64
+
 	// spill is the shared disk tier under both LRUs; nil until
 	// EnableSpill. Both caches address it by their (disjoint) key
 	// namespaces.
@@ -90,12 +108,18 @@ type Service struct {
 
 // New returns an empty service.
 func New(cfg Config) *Service {
+	policy := cfg.DeltaPolicy
+	if policy == "" {
+		policy = DeltaPolicyPatch
+	}
 	return &Service{
-		reg:     NewRegistry(),
-		cache:   NewCache(cfg.CacheEntries),
-		mcache:  NewMeasureCache(cfg.MeasureCacheEntries),
-		adm:     newAdmission(cfg.ShedCostBudget, cfg.MaxInflight, cfg.MaxQueue, cfg.MaxInflightPerDataset),
-		metrics: newMetrics(),
+		reg:         NewRegistry(),
+		cache:       NewCache(cfg.CacheEntries),
+		mcache:      NewMeasureCache(cfg.MeasureCacheEntries),
+		adm:         newAdmission(cfg.ShedCostBudget, cfg.MaxInflight, cfg.MaxQueue, cfg.MaxInflightPerDataset),
+		metrics:     newMetrics(),
+		deltaPolicy: policy,
+		feed:        newChangeFeed(),
 	}
 }
 

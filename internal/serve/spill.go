@@ -248,6 +248,23 @@ func (st *spillStore) Put(key string, payload []byte) {
 	}
 }
 
+// Remove drops key's entry from the store, if present — the
+// invalidation path (vs. eviction, which only means cold). A key that
+// was never spilled is a no-op.
+func (st *spillStore) Remove(key string) {
+	st.mu.Lock()
+	el, ok := st.index[key]
+	if ok {
+		st.bytes -= el.Value.(*spillFile).size
+		st.order.Remove(el)
+		delete(st.index, key)
+	}
+	st.mu.Unlock()
+	if ok {
+		os.Remove(st.spillPath(key))
+	}
+}
+
 // evictOverBudgetLocked drops least-recently-used entries until the
 // store fits the budget, keeping at least keep entries, and returns the
 // file paths to remove (IO is the caller's, outside the lock).
